@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the paper-style rows (run with ``-s`` to see them).  Populations are
+moderate by default so the whole suite finishes in minutes; the paper's
+full populations (100 runs / 100 rounds) can be requested with
+``--paper-scale``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="use the paper's full run/round populations (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def runs(paper_scale):
+    """Run population for the overhead studies (paper: 100)."""
+    return 100 if paper_scale else 15
+
+
+@pytest.fixture(scope="session")
+def rounds(paper_scale):
+    """Round population for the Meltdown study (paper: 100)."""
+    return 100 if paper_scale else 5
+
+
+@pytest.fixture(scope="session")
+def trials(paper_scale):
+    """Trial population for the LINPACK study (paper: 10)."""
+    return 10 if paper_scale else 5

@@ -1,0 +1,77 @@
+"""Ablation — DBI vs counter-based monitoring.
+
+The paper's opening argument (§I): dynamic binary instrumentation can
+profile binaries without source, but its overhead "makes online
+analysis with software-based profiling for fine-grained events
+sub-optimal", while "performance counters collect data via dedicated
+circuitry ... with nearly negligible overhead".  This bench puts the
+two on the same victim.
+"""
+
+import pytest
+
+from repro.experiments.report import text_table
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms
+from repro.tools.registry import create_tool
+from repro.workloads.matmul import TripleLoopMatmul
+
+EVENTS = ("LOADS", "STORES", "BRANCHES")
+_N = 512
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    program = TripleLoopMatmul(_N)
+    baseline = run_monitored(program, create_tool("none"), seed=0)
+    outcomes = {"none": (baseline.wall_ns, None)}
+    for name in ("k-leb", "dbi"):
+        result = run_monitored(program, create_tool(name), events=EVENTS,
+                               period_ns=ms(10), seed=0)
+        outcomes[name] = (result.wall_ns, result.report)
+    return outcomes
+
+
+def test_dbi_contrast_regenerate(benchmark, comparison):
+    benchmark.pedantic(
+        lambda: run_monitored(TripleLoopMatmul(_N), create_tool("dbi"),
+                              events=EVENTS, period_ns=ms(10), seed=1),
+        rounds=1, iterations=1,
+    )
+    base_wall, _ = comparison["none"]
+    rows = []
+    for name, (wall, report) in comparison.items():
+        overhead = 100.0 * (wall - base_wall) / base_wall
+        rows.append([
+            name, f"{wall / 1e9:.4f}",
+            f"{overhead:.2f}%" if name != "none" else "-",
+            "exact (shadow counters)" if name == "dbi"
+            else "exact (PMU)" if name == "k-leb" else "-",
+        ])
+    print("\n" + text_table(
+        ["tool", "runtime (s)", "overhead", "counts"],
+        rows, title="Ablation — DBI vs counter-based monitoring",
+    ))
+
+
+class TestShape:
+    def test_dbi_overhead_is_orders_of_magnitude_worse(self, comparison):
+        base_wall, _ = comparison["none"]
+        kleb_overhead = comparison["k-leb"][0] - base_wall
+        dbi_overhead = comparison["dbi"][0] - base_wall
+        assert dbi_overhead > 200 * kleb_overhead
+
+    def test_both_report_accurate_counts(self, comparison):
+        program = TripleLoopMatmul(_N)
+        for name in ("k-leb", "dbi"):
+            report = comparison[name][1]
+            assert report.totals["INST_RETIRED"] == pytest.approx(
+                program.instructions, rel=1e-6
+            )
+
+    def test_dbi_slowdown_near_expansion_factor(self, comparison):
+        from repro.tools.dbi import DBI_EXPANSION_FACTOR
+
+        base_wall, _ = comparison["none"]
+        slowdown = comparison["dbi"][0] / base_wall
+        assert slowdown == pytest.approx(DBI_EXPANSION_FACTOR, rel=0.3)

@@ -1,0 +1,99 @@
+"""Ablation — perf stat multiplexing error vs event count.
+
+Paper §II-B/§VI: perf virtualizes counters by time multiplexing when
+more events are requested than registers exist, "with the cost of
+decreased accuracy" — the estimation "may not be suitable for
+measurement systems that require precision".
+
+The error mechanism is *aliasing*: each event group only observes its
+own rotation windows, and the ``count x time_total / time_running``
+scale-up assumes the event rate was uniform.  On a phased workload
+(where rates change over time) that assumption breaks.  K-LEB instead
+refuses to over-subscribe the counters: precision over coverage.
+"""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.experiments.report import text_table
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms
+from repro.tools.kleb import KLebTool
+from repro.tools.perf import PerfStatTool
+from repro.workloads.base import ListProgram, Program, RateBlock
+
+ALL_EVENTS = ("LOADS", "STORES", "BRANCHES", "ARITH_MUL",
+              "LLC_MISSES", "BRANCH_MISSES", "FP_OPS", "LLC_REFERENCES")
+_TOTAL = 6e8
+_PHASES = 5
+_HI, _LO = 0.7, 0.02
+
+
+def phased_workload() -> Program:
+    """Alternating high-load / low-load phases (~45 ms each)."""
+    per_phase = _TOTAL / _PHASES
+    blocks = []
+    for index in range(_PHASES):
+        rate = _HI if index % 2 == 0 else _LO
+        blocks.append(RateBlock(
+            instructions=per_phase,
+            rates={"LOADS": rate, "STORES": 0.1, "BRANCHES": 0.1,
+                   "ARITH_MUL": 0.05, "LLC_MISSES": 0.001,
+                   "BRANCH_MISSES": 0.002},
+            label=f"phase-{index}",
+        ))
+    return ListProgram("phased", blocks)
+
+
+def true_loads() -> float:
+    per_phase = _TOTAL / _PHASES
+    high_phases = (_PHASES + 1) // 2
+    return per_phase * (high_phases * _HI + (_PHASES - high_phases) * _LO)
+
+
+def _loads_error(event_count, seed=0):
+    events = ALL_EVENTS[:event_count]
+    result = run_monitored(
+        phased_workload(), PerfStatTool(), events=events,
+        period_ns=ms(10), seed=seed,
+    )
+    measured = result.report.totals["LOADS"]
+    return 100.0 * abs(measured - true_loads()) / true_loads()
+
+
+@pytest.fixture(scope="module")
+def errors():
+    return {count: _loads_error(count) for count in (2, 4, 6, 8)}
+
+
+def test_multiplexing_regenerate(benchmark, errors):
+    benchmark.pedantic(lambda: _loads_error(6, seed=1),
+                       rounds=1, iterations=1)
+    rows = [
+        [str(count), "yes" if count > 4 else "no", f"{error:.4f}%"]
+        for count, error in errors.items()
+    ]
+    print("\n" + text_table(
+        ["events", "multiplexed", "LOADS count error"],
+        rows, title="Ablation — perf stat multiplexing error (phased load)",
+    ))
+
+
+class TestShape:
+    def test_within_counter_budget_is_exact(self, errors):
+        assert errors[2] < 1e-6
+        assert errors[4] < 1e-6
+
+    def test_multiplexing_introduces_real_error(self, errors):
+        """Percent-scale error — far beyond Fig. 9's 0.3% bound, which
+        is exactly why the paper calls the estimates unsuitable for
+        precision measurement."""
+        assert errors[6] > 0.3
+
+    def test_error_persists_with_more_groups(self, errors):
+        assert errors[8] > 0.3
+
+    def test_kleb_refuses_instead_of_estimating(self):
+        with pytest.raises(ToolError):
+            run_monitored(phased_workload(), KLebTool(),
+                          events=ALL_EVENTS[:6], period_ns=ms(10), seed=0)

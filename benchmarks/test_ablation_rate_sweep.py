@@ -1,0 +1,73 @@
+"""Ablation — sample-rate sweep: overhead vs granularity.
+
+Paper §V/§VI: "K-LEB's overhead, just like other timer based profiling
+tools, depends on the sample rate.  The finer the granularity, the more
+samples ... more overhead", and "the overhead will rapidly increase
+after 100 µs intervals".  This sweep quantifies the trade-off the paper
+leaves to the user.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import text_table
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms, us
+from repro.tools.kleb import KLebTool
+from repro.tools.null import NullTool
+from repro.workloads.synthetic import UniformComputeWorkload
+
+EVENTS = ("LOADS", "STORES", "BRANCHES")
+RATES_NS = (us(100), us(250), us(500), ms(1), ms(10), ms(100))
+_WORK = 6e8  # ~225 ms victim
+
+
+def _overhead_at(period_ns, seeds=(0, 1, 2)):
+    baselines = []
+    monitored = []
+    samples = []
+    for seed in seeds:
+        base = run_monitored(UniformComputeWorkload(_WORK), NullTool(),
+                             events=EVENTS, seed=seed)
+        run = run_monitored(UniformComputeWorkload(_WORK), KLebTool(),
+                            events=EVENTS, period_ns=period_ns, seed=seed)
+        baselines.append(base.wall_ns)
+        monitored.append(run.wall_ns)
+        samples.append(run.report.sample_count)
+    base_mean = float(np.mean(baselines))
+    overhead = 100.0 * (float(np.mean(monitored)) - base_mean) / base_mean
+    return overhead, float(np.mean(samples))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {period: _overhead_at(period) for period in RATES_NS}
+
+
+def test_rate_sweep_regenerate(benchmark, sweep):
+    benchmark.pedantic(lambda: _overhead_at(ms(1), seeds=(3,)),
+                       rounds=1, iterations=1)
+    rows = [
+        [f"{period / 1000:g} us", f"{samples:.0f}", f"{overhead:.2f}%"]
+        for period, (overhead, samples) in sweep.items()
+    ]
+    print("\n" + text_table(["period", "samples", "K-LEB overhead"], rows,
+                            title="Ablation — overhead vs sample rate"))
+
+
+class TestShape:
+    def test_overhead_monotone_in_rate(self, sweep):
+        overheads = [sweep[period][0] for period in RATES_NS]
+        # Finer granularity -> more overhead (allow small noise slack).
+        for faster, slower in zip(overheads, overheads[1:]):
+            assert faster >= slower - 0.15
+
+    def test_overhead_rapid_below_1ms(self, sweep):
+        """The paper's §VI warning: cost climbs steeply at high rates."""
+        assert sweep[us(100)][0] > 5 * max(sweep[ms(10)][0], 0.1)
+
+    def test_10ms_overhead_stays_sub_percent(self, sweep):
+        assert sweep[ms(10)][0] < 1.0
+
+    def test_sample_counts_scale_with_rate(self, sweep):
+        assert sweep[us(100)][1] > 50 * max(sweep[ms(10)][1], 1)

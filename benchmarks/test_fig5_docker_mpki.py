@@ -1,0 +1,67 @@
+"""Fig. 5 — LLC MPKI of Docker-container workloads.
+
+Paper: interpreters (Ruby/Golang/Python) MPKI < 1;
+MySQL/Traefik/Ghost between 1 and 10; web servers
+(Apache/Nginx/Tomcat) above 10.  The AWS re-run shifts absolute values
+but preserves the low-to-high trend.
+"""
+
+import pytest
+
+from repro.analysis.classify import WorkloadClass
+from repro.experiments import fig5
+
+
+@pytest.fixture(scope="module")
+def result(paper_scale):
+    iterations = 15 if paper_scale else 12
+    return fig5.run(iterations=iterations, seed=0, cross_platform=True)
+
+
+def test_fig5_regenerate(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: fig5.run(images=("python", "mysql", "nginx"),
+                         iterations=8, seed=1, cross_platform=False),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig5.render(outcome))
+
+
+class TestShape:
+    def test_interpreters_below_one(self, result):
+        primary = result.primary_platform
+        for image in ("python", "golang", "ruby"):
+            assert result.mpki[primary][image] < 1.0
+
+    def test_paper_middleware_below_ten(self, result):
+        primary = result.primary_platform
+        for image in ("mysql", "traefik", "ghost"):
+            assert 1.0 < result.mpki[primary][image] < 10.0
+
+    def test_webservers_above_ten(self, result):
+        primary = result.primary_platform
+        for image in ("apache", "nginx", "tomcat"):
+            assert result.mpki[primary][image] > 10.0
+
+    def test_muralidhara_classes(self, result):
+        for image in ("apache", "nginx", "tomcat"):
+            assert result.classes[image] is WorkloadClass.MEMORY_INTENSIVE
+        for image in ("python", "golang", "ruby", "mysql", "traefik",
+                      "ghost"):
+            assert result.classes[image] is \
+                WorkloadClass.COMPUTATION_INTENSIVE
+
+    def test_cross_platform_trend_consistent(self, result):
+        """Paper: 'the dockers programs still follow the same trend in
+        terms of their LLC MPKI from low to high'."""
+        platforms = list(result.mpki)
+        assert result.ranking(platforms[0]) == result.ranking(platforms[1])
+
+    def test_absolute_values_vary_with_cache_structure(self, result):
+        platforms = list(result.mpki)
+        differences = [
+            abs(result.mpki[platforms[0]][image]
+                - result.mpki[platforms[1]][image])
+            for image in ("apache", "nginx", "tomcat")
+        ]
+        assert max(differences) > 0.05

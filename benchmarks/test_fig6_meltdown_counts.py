@@ -1,0 +1,45 @@
+"""Fig. 6 — Meltdown vs clean program: round-averaged LLC counts.
+
+Paper (100 rounds, 100 µs rate): LLC references and misses
+significantly higher under attack; MPKI 7.52 -> 27.53.
+"""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.fixture(scope="module")
+def result(rounds):
+    return fig6.run(rounds=rounds, seed=0)
+
+
+def test_fig6_regenerate(benchmark, rounds):
+    outcome = benchmark.pedantic(
+        lambda: fig6.run(rounds=max(2, rounds // 2), seed=1),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig6.render(outcome))
+
+
+class TestShape:
+    def test_clean_mpki_near_paper(self, result):
+        # Paper: 7.52.
+        assert result.clean_mpki == pytest.approx(7.52, rel=0.1)
+
+    def test_attack_mpki_near_paper(self, result):
+        # Paper: 27.53.
+        assert result.attack_mpki == pytest.approx(27.53, rel=0.1)
+
+    def test_llc_misses_factor(self, result):
+        assert result.attack_means["LLC_MISSES"] > \
+            4 * result.clean_means["LLC_MISSES"]
+
+    def test_llc_references_factor(self, result):
+        assert result.attack_means["LLC_REFERENCES"] > \
+            3 * result.clean_means["LLC_REFERENCES"]
+
+    def test_attack_adds_execution_time(self, result):
+        """Paper: 'The Meltdown attack added more execution time to the
+        program and resulted in many more samples being collected.'"""
+        assert result.attack_samples_mean > 3 * result.clean_samples_mean

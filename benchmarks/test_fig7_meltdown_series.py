@@ -1,0 +1,49 @@
+"""Fig. 7 — Meltdown vs non-Meltdown time series at 100 µs.
+
+Paper: the clean program finishes in <10 ms (perf: 1 sample); K-LEB's
+100 µs series shows the abnormally high LLC miss/reference ratio at
+the point of attack, early in execution.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+from repro.sim.clock import ms
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig7.run(seed=0)
+
+
+def test_fig7_regenerate(benchmark):
+    outcome = benchmark.pedantic(lambda: fig7.run(seed=1),
+                                 rounds=1, iterations=1)
+    print("\n" + fig7.render(outcome))
+
+
+class TestShape:
+    def test_clean_run_under_10ms(self, result):
+        assert result.clean_wall_ns < ms(10)
+
+    def test_kleb_series_vs_perf_single_sample(self, result):
+        """The 100x granularity claim in action."""
+        assert result.perf_samples_clean <= 1
+        assert len(result.clean_series) >= 40
+
+    def test_attack_longer_with_more_intervals(self, result):
+        assert result.attack_wall_ns > 3 * result.clean_wall_ns
+        assert len(result.attack_series) > 3 * len(result.clean_series)
+
+    def test_detector_separates_the_runs(self, result):
+        assert result.attack_verdict.anomalous
+        assert not result.clean_verdict.anomalous
+
+    def test_attack_flagged_early(self, result):
+        """'identify the point of attack ... at the early stage of the
+        attack during the program execution'."""
+        assert result.attack_verdict.first_flag_ns < \
+            0.2 * result.attack_wall_ns
+
+    def test_mpki_gap_visible_in_series(self, result):
+        assert result.attack_mpki > 3 * result.clean_mpki

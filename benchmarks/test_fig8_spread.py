@@ -1,0 +1,45 @@
+"""Fig. 8 — box-and-whisker of normalized execution times per tool.
+
+Paper: K-LEB has the smallest spread — the least interference and the
+most consistent behaviour.
+"""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+@pytest.fixture(scope="module")
+def result(runs):
+    return fig8.run(runs=runs, seed=0)
+
+
+def test_fig8_regenerate(benchmark, runs):
+    outcome = benchmark.pedantic(
+        lambda: fig8.run(runs=max(4, runs // 3), seed=1),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig8.render(outcome))
+
+
+class TestShape:
+    def test_kleb_has_tightest_monitored_spread(self, result):
+        spreads = {name: stats.spread
+                   for name, stats in result.boxes.items()
+                   if name != "none"}
+        assert min(spreads, key=spreads.get) == "k-leb"
+
+    def test_kleb_spread_well_below_perf_stat(self, result):
+        assert result.boxes["k-leb"].spread < \
+            0.5 * result.boxes["perf-stat"].spread
+
+    def test_medians_track_overhead_ranking(self, result):
+        boxes = result.boxes
+        assert boxes["none"].median < boxes["k-leb"].median
+        assert boxes["k-leb"].median < boxes["perf-record"].median
+        assert boxes["perf-record"].median < boxes["perf-stat"].median
+
+    def test_all_monitored_medians_above_one(self, result):
+        for name, stats in result.boxes.items():
+            if name != "none":
+                assert stats.median > 1.0

@@ -1,0 +1,45 @@
+"""Fig. 9 — hardware event count differences across tools.
+
+Paper: K-LEB vs perf stat < 0.0008 % on deterministic events;
+perf record < 0.15 % vs K-LEB; everything < 0.3 %.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig9.run(seed=0)
+
+
+def test_fig9_regenerate(benchmark):
+    outcome = benchmark.pedantic(lambda: fig9.run(seed=1),
+                                 rounds=1, iterations=1)
+    print("\n" + fig9.render(outcome))
+
+
+class TestShape:
+    def test_everything_below_0_3_percent(self, result):
+        assert result.worst_percent < 0.3
+
+    def test_perf_stat_below_paper_bound(self, result):
+        for value in result.matrix["perf-stat"].values():
+            assert value < 0.0008
+
+    def test_perf_record_below_paper_bound(self, result):
+        for value in result.matrix["perf-record"].values():
+            assert value < 0.15
+
+    def test_instrumented_tools_small_positive_bias(self, result):
+        """PAPI/LiMiT count their own in-process bookkeeping — nonzero
+        but tiny deviations."""
+        for tool in ("papi", "limit"):
+            values = list(result.matrix[tool].values())
+            assert max(values) > 0.0
+            assert max(values) < 0.05
+
+    def test_all_four_tools_compared(self, result):
+        assert set(result.matrix) == {"perf-stat", "perf-record",
+                                      "papi", "limit"}

@@ -1,0 +1,41 @@
+"""Table I — LINPACK GFLOPS across profiling tools.
+
+Paper: no-profiling 37.24 GFLOPS; losses K-LEB 0.64 %,
+perf stat 7.08 %, perf record 0.96 %.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.fixture(scope="module")
+def result(trials):
+    return table1.run(trials=trials, seed=0)
+
+
+def test_table1_regenerate(benchmark, trials):
+    outcome = benchmark.pedantic(
+        lambda: table1.run(trials=trials, seed=1),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table1.render(outcome))
+
+
+class TestShape:
+    def test_baseline_gflops(self, result):
+        # Paper: 37.24.
+        assert result.gflops["none"] == pytest.approx(37.24, rel=0.02)
+
+    def test_kleb_loss_sub_percent(self, result):
+        # Paper: 0.64 %.
+        assert result.loss_percent["k-leb"] == pytest.approx(0.64, abs=0.35)
+
+    def test_perf_stat_loss_dominates(self, result):
+        # Paper: 7.08 % — the big loser.
+        assert result.loss_percent["perf-stat"] == pytest.approx(7.08, rel=0.25)
+
+    def test_perf_record_between(self, result):
+        # Paper: 0.96 %.
+        losses = result.loss_percent
+        assert losses["k-leb"] < losses["perf-record"] < losses["perf-stat"]

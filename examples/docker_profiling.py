@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Classify Docker containers by memory intensity — without touching
+their binaries.
+
+Reproduces the paper's §IV-B workflow: launch each container (a real
+process tree: shim forks workload), attach K-LEB to the *shim* PID, let
+fork-following capture the actual workload, compute LLC MPKI, and apply
+the Muralidhara MPKI>10 rule.  Ends with the scheduling suggestion the
+paper motivates: co-locate computation-intensive containers with
+memory-intensive ones.
+"""
+
+from repro.analysis.classify import WorkloadClass, classify_mpki
+from repro.analysis.metrics import report_mpki
+from repro.experiments.report import text_table
+from repro.hw.machine import Machine
+from repro.hw.presets import i7_920
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import ms, seconds
+from repro.sim.rng import RngStreams
+from repro.tools.kleb import KLebTool
+from repro.workloads.docker import DockerEngine
+
+IMAGES = ("python", "golang", "mysql", "redis", "apache", "nginx", "tomcat")
+EVENTS = ("LLC_REFERENCES", "LLC_MISSES", "LOADS", "STORES")
+
+
+def profile_container(image: str) -> float:
+    """Run one container under K-LEB; return its LLC MPKI."""
+    kernel = Kernel(Machine(i7_920()), rng=RngStreams(7))
+    engine = DockerEngine(kernel)
+    container = engine.run_container(image, iterations=12)
+    session = KLebTool().attach(kernel, container.shim_task, EVENTS, ms(1))
+    kernel.run_until_exit(container.shim_task, deadline=seconds(60))
+    report = session.finalize()
+    assert container.workload_task is not None  # fork was traced
+    return report_mpki(report.totals)
+
+
+def main() -> None:
+    print("Profiling Docker images with K-LEB (binary-only, 1 ms rate)\n")
+    measurements = {image: profile_container(image) for image in IMAGES}
+
+    rows = []
+    for image, mpki in sorted(measurements.items(), key=lambda kv: kv[1]):
+        workload_class = classify_mpki(mpki)
+        rows.append([image, f"{mpki:6.2f}", workload_class.value])
+    print(text_table(["image", "LLC MPKI", "class (MPKI>10 rule)"], rows))
+
+    compute = [image for image, mpki in measurements.items()
+               if classify_mpki(mpki) is WorkloadClass.COMPUTATION_INTENSIVE]
+    memory = [image for image, mpki in measurements.items()
+              if classify_mpki(mpki) is WorkloadClass.MEMORY_INTENSIVE]
+    print("\nScheduler suggestion (paper §IV-B): pair complementary "
+          "containers per core:")
+    for core, (mem, cpu) in enumerate(zip(memory, compute)):
+        print(f"  core {core}: {mem} (memory) + {cpu} (compute)")
+    leftovers = memory[len(compute):] + compute[len(memory):]
+    if leftovers:
+        print(f"  spread across remaining cores: {', '.join(leftovers)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Program identity verification from counter signatures.
+
+The Bruska et al. use case the paper cites (§I): a program's hardware
+event mix is a fingerprint.  Enroll the eight SPEC-like corpus programs
+in a signature database from monitored runs, then:
+
+1. verify a fresh (different-seed) run of one of them — accepted;
+2. present a swapped binary (one program claiming to be another) —
+   rejected, with the true identity named;
+3. present a "patched" variant with an altered inner loop — rejected as
+   tampered (no enrolled program matches).
+"""
+
+from repro.apps.verification import SignatureDatabase
+from repro.experiments.report import text_table
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms
+from repro.tools.registry import create_tool
+from repro.workloads.base import ListProgram, RateBlock
+from repro.workloads.corpus import CorpusWorkload, corpus_programs
+
+EVENTS = ("LOADS", "STORES", "BRANCHES", "ARITH_MUL")
+
+
+def monitor(program, seed=0):
+    return run_monitored(program, create_tool("k-leb"), events=EVENTS,
+                         period_ns=ms(10), seed=seed).report
+
+
+def main() -> None:
+    print("Enrolling the corpus (K-LEB @ 10 ms)...\n")
+    database = SignatureDatabase(tolerance=0.05)
+    for program in corpus_programs(instructions=2e7):
+        database.enroll_report(monitor(program), program.name)
+    rows = [[name] for name in database.names()]
+    print(text_table(["enrolled programs"], rows))
+
+    print("\nCase 1 — genuine re-run of namd-like (new seed):")
+    verdict = database.verify(
+        monitor(CorpusWorkload("namd-like", instructions=2e7), seed=99),
+        claimed="namd-like",
+    )
+    print(f"  accepted={verdict.accepted} "
+          f"(distance {verdict.distance_to_claimed:.4f}, "
+          f"tolerance {verdict.tolerance})")
+
+    print("\nCase 2 — binary swap: mcf-like shipped as gcc-like:")
+    verdict = database.verify(
+        monitor(CorpusWorkload("mcf-like", instructions=2e7), seed=7),
+        claimed="gcc-like",
+    )
+    print(f"  accepted={verdict.accepted}, impostor={verdict.impostor}, "
+          f"actual identity: {verdict.best_match}")
+
+    print("\nCase 3 — tampered bzip-like (inner loop altered):")
+    tampered = ListProgram("bzip-patched", [
+        RateBlock(instructions=2e7,
+                  rates={"LOADS": 0.42, "STORES": 0.30,   # store-heavy patch
+                         "BRANCHES": 0.10, "ARITH_MUL": 0.01},
+                  cpi=1.15),
+    ])
+    verdict = database.verify(monitor(tampered, seed=3), claimed="bzip-like")
+    print(f"  accepted={verdict.accepted}, impostor={verdict.impostor} "
+          f"(distance to claimed {verdict.distance_to_claimed:.3f})")
+    print("\nSignature verification catches both substitutions and "
+          "modifications — without reading a byte of the binary.")
+
+
+if __name__ == "__main__":
+    main()

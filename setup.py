@@ -1,0 +1,13 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses PEP 660 editable wheels when possible; on
+minimal/offline environments fall back to::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""K-LEB reproduction: high-frequency performance monitoring via
+architectural event measurement (Woralert et al., IISWC 2020).
+
+The package layers:
+
+* :mod:`repro.sim` — nanosecond discrete-event simulation core;
+* :mod:`repro.hw` — PMU, MSRs, caches, core, machine presets;
+* :mod:`repro.kernel` — scheduler, kprobes, HRTimer, syscalls, modules;
+* :mod:`repro.workloads` — LINPACK, matmul/dgemm, Docker, Meltdown;
+* :mod:`repro.tools` — K-LEB plus perf stat/record, PAPI, LiMiT;
+* :mod:`repro.analysis` — MPKI/GFLOPS, phases, overhead, accuracy;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.experiments import run_monitored
+    from repro.tools import create_tool
+    from repro.workloads import TripleLoopMatmul
+    from repro.sim import ms
+
+    result = run_monitored(TripleLoopMatmul(1024), create_tool("k-leb"),
+                           events=("LOADS", "STORES"), period_ns=ms(10))
+    print(result.report.totals)
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

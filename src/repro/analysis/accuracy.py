@@ -1,0 +1,67 @@
+"""Cross-tool count accuracy (Fig. 9).
+
+The paper compares the hardware event counts each tool reports for the
+same program, focusing on *architectural* (deterministic) events —
+Branch, Load, Store, Instructions retired — whose true counts do not
+depend on machine state.  Claims reproduced here:
+
+* K-LEB vs perf stat: < 0.0008 % difference on deterministic events;
+* perf record vs K-LEB: < 0.15 % (sampling reconstruction);
+* any tool pair, any event: < 0.3 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.errors import ExperimentError
+from repro.tools.base import ToolReport
+
+
+def count_difference_percent(reference: float, other: float) -> float:
+    """Absolute percentage difference of ``other`` vs ``reference``."""
+    if reference == 0:
+        return 0.0 if other == 0 else float("inf")
+    return abs(other - reference) / abs(reference) * 100.0
+
+
+def accuracy_matrix(reports: Mapping[str, ToolReport],
+                    events: Sequence[str],
+                    reference_tool: str = "k-leb") -> Dict[str, Dict[str, float]]:
+    """Percentage count difference of every tool vs the reference.
+
+    Returns ``{tool: {event: percent_difference}}`` for all tools other
+    than the reference.  Events missing from a tool's totals raise — a
+    silent gap would fake perfect accuracy.
+    """
+    if reference_tool not in reports:
+        raise ExperimentError(f"no report for reference tool {reference_tool!r}")
+    reference = reports[reference_tool].totals
+    matrix: Dict[str, Dict[str, float]] = {}
+    for tool, report in reports.items():
+        if tool == reference_tool:
+            continue
+        row: Dict[str, float] = {}
+        for event in events:
+            if event not in reference:
+                raise ExperimentError(
+                    f"reference tool {reference_tool!r} did not record {event}"
+                )
+            if event not in report.totals:
+                raise ExperimentError(
+                    f"tool {tool!r} did not record {event}"
+                )
+            row[event] = count_difference_percent(
+                reference[event], report.totals[event]
+            )
+        matrix[tool] = row
+    return matrix
+
+
+def worst_difference(matrix: Mapping[str, Mapping[str, float]]) -> float:
+    """The largest deviation anywhere in an accuracy matrix."""
+    worst = 0.0
+    for row in matrix.values():
+        for value in row.values():
+            worst = max(worst, value)
+    return worst

@@ -1,0 +1,62 @@
+"""Derived performance metrics.
+
+The quantities the paper reports: MPKI (Misses Per Kilo-Instruction,
+§IV-B/C), GFLOPS (Table I), plus the usual IPC and miss-ratio helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ExperimentError
+from repro.tools.base import ToolReport
+
+
+def mpki(misses: float, instructions: float) -> float:
+    """Misses per kilo-instruction."""
+    if instructions <= 0:
+        raise ExperimentError("MPKI undefined for zero instructions")
+    return misses / (instructions / 1000.0)
+
+
+def ipc(instructions: float, cycles: float) -> float:
+    """Instructions per cycle."""
+    if cycles <= 0:
+        raise ExperimentError("IPC undefined for zero cycles")
+    return instructions / cycles
+
+
+def gflops(flops: float, elapsed_ns: float) -> float:
+    """Billions of floating-point operations per second."""
+    if elapsed_ns <= 0:
+        raise ExperimentError("GFLOPS undefined for zero elapsed time")
+    return flops / elapsed_ns  # FLOPs per nanosecond == GFLOPS
+
+
+def miss_ratio(misses: float, references: float) -> float:
+    """LLC miss ratio (misses / references), 0 when no references."""
+    if references <= 0:
+        return 0.0
+    return misses / references
+
+
+def report_mpki(totals: Mapping[str, float],
+                miss_event: str = "LLC_MISSES") -> float:
+    """MPKI from a tool report's totals dict.
+
+    Requires both the miss event and INST_RETIRED (always present: it
+    lives on a fixed counter).
+    """
+    if miss_event not in totals:
+        raise ExperimentError(
+            f"totals lack {miss_event}; monitored events were insufficient"
+        )
+    if "INST_RETIRED" not in totals:
+        raise ExperimentError("totals lack INST_RETIRED")
+    return mpki(totals[miss_event], totals["INST_RETIRED"])
+
+
+def report_mpki_from(report: ToolReport,
+                     miss_event: str = "LLC_MISSES") -> float:
+    """Convenience wrapper for :func:`report_mpki` on a ToolReport."""
+    return report_mpki(report.totals, miss_event=miss_event)

@@ -1,0 +1,71 @@
+"""Monitoring overhead statistics (Tables I-III).
+
+Overhead is the victim's wall-clock stretch relative to the
+no-profiling baseline: ``(monitored - baseline) / baseline``.  The
+paper reports averages over 100 runs; :func:`summarize_overhead` takes
+the two run populations and produces the same summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def overhead_percent(monitored_ns: float, baseline_ns: float) -> float:
+    """Single-pair overhead in percent."""
+    if baseline_ns <= 0:
+        raise ExperimentError("baseline runtime must be positive")
+    return 100.0 * (monitored_ns - baseline_ns) / baseline_ns
+
+
+@dataclass(frozen=True)
+class OverheadStats:
+    """Overhead summary for one tool against a baseline population."""
+
+    tool: str
+    runs: int
+    baseline_mean_ns: float
+    monitored_mean_ns: float
+    overhead_mean_percent: float
+    overhead_std_percent: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"{self.tool}: {self.overhead_mean_percent:.2f}% "
+            f"(±{self.overhead_std_percent:.2f}, n={self.runs})"
+        )
+
+
+def summarize_overhead(tool: str, monitored_ns: Sequence[float],
+                       baseline_ns: Sequence[float]) -> OverheadStats:
+    """Summarize overhead of a run population vs a baseline population."""
+    if not monitored_ns or not baseline_ns:
+        raise ExperimentError("need at least one run in each population")
+    baseline_mean = float(np.mean(baseline_ns))
+    monitored = np.asarray(monitored_ns, dtype=np.float64)
+    per_run = 100.0 * (monitored - baseline_mean) / baseline_mean
+    return OverheadStats(
+        tool=tool,
+        runs=len(monitored_ns),
+        baseline_mean_ns=baseline_mean,
+        monitored_mean_ns=float(monitored.mean()),
+        overhead_mean_percent=float(per_run.mean()),
+        overhead_std_percent=float(per_run.std(ddof=1)) if len(monitored) > 1
+        else 0.0,
+    )
+
+
+def relative_reduction_percent(ours: float, next_best: float) -> float:
+    """Relative overhead reduction vs the next-best tool.
+
+    The paper's headline: "K-LEB shows 58.8 % decrease in performance
+    overhead when comparing to the next best tool, i.e. perf record."
+    """
+    if next_best <= 0:
+        raise ExperimentError("next-best overhead must be positive")
+    return 100.0 * (next_best - ours) / next_best

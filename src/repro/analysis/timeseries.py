@@ -1,0 +1,126 @@
+"""Time-series operations on counter samples.
+
+Tools deliver *cumulative* snapshots (counter values at each fire);
+figures plot *per-interval* activity (Fig. 4's LINPACK phases, Fig. 7's
+Meltdown burst), so the central operation here is differencing, plus
+alignment/averaging across trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.tools.base import Sample
+
+
+@dataclass
+class EventSeries:
+    """Aligned per-event series: timestamps plus one array per event."""
+
+    timestamps: np.ndarray                 # int64 ns
+    values: Dict[str, np.ndarray]          # event -> float64 array
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def event(self, name: str) -> np.ndarray:
+        try:
+            return self.values[name]
+        except KeyError:
+            known = ", ".join(sorted(self.values))
+            raise ExperimentError(
+                f"series has no event {name!r} (has: {known})"
+            ) from None
+
+
+def samples_to_series(samples: Sequence[Sample]) -> EventSeries:
+    """Stack samples into aligned arrays (cumulative values)."""
+    if not samples:
+        return EventSeries(np.array([], dtype=np.int64), {})
+    names = sorted(samples[0].values)
+    timestamps = np.array([sample.timestamp for sample in samples],
+                          dtype=np.int64)
+    values = {
+        name: np.array([sample.values.get(name, 0) for sample in samples],
+                       dtype=np.float64)
+        for name in names
+    }
+    return EventSeries(timestamps, values)
+
+
+def deltas(series: EventSeries) -> EventSeries:
+    """Per-interval activity from cumulative snapshots.
+
+    Output has one fewer point; timestamps mark interval ends.  Counter
+    wraparound (48-bit) shows up as a negative delta and is corrected.
+    """
+    if len(series) < 2:
+        return EventSeries(np.array([], dtype=np.int64), {
+            name: np.array([], dtype=np.float64) for name in series.values
+        })
+    wrap = float(1 << 48)
+    out: Dict[str, np.ndarray] = {}
+    for name, cumulative in series.values.items():
+        diff = np.diff(cumulative)
+        diff[diff < 0] += wrap
+        out[name] = diff
+    return EventSeries(series.timestamps[1:], out)
+
+
+def resample_counts(series: EventSeries, bucket_ns: int) -> EventSeries:
+    """Aggregate per-interval deltas into fixed wall-clock buckets.
+
+    Used to average multiple trials whose sample timestamps don't align
+    exactly (jitter), as the paper does for Fig. 4's 10-trial average.
+    """
+    if bucket_ns <= 0:
+        raise ExperimentError("bucket size must be positive")
+    if len(series) == 0:
+        return series
+    start = int(series.timestamps[0])
+    buckets = ((series.timestamps - start) // bucket_ns).astype(np.int64)
+    count = int(buckets.max()) + 1
+    timestamps = start + (np.arange(count, dtype=np.int64) + 1) * bucket_ns
+    values: Dict[str, np.ndarray] = {}
+    for name, data in series.values.items():
+        summed = np.zeros(count, dtype=np.float64)
+        np.add.at(summed, buckets, data)
+        values[name] = summed
+    return EventSeries(timestamps, values)
+
+
+def moving_average(data: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage."""
+    if window <= 0:
+        raise ExperimentError("window must be positive")
+    if window == 1 or len(data) == 0:
+        return np.asarray(data, dtype=np.float64)
+    kernel = np.ones(window) / window
+    padded = np.convolve(data, kernel, mode="same")
+    # Correct the edges where the kernel hangs off the array.
+    ones = np.convolve(np.ones(len(data)), kernel, mode="same")
+    return padded / ones
+
+
+def average_series(series_list: Sequence[EventSeries],
+                   bucket_ns: int) -> EventSeries:
+    """Bucket-align several trials' delta series and average them."""
+    if not series_list:
+        raise ExperimentError("no series to average")
+    resampled = [resample_counts(series, bucket_ns) for series in series_list]
+    length = max(len(series) for series in resampled)
+    names = sorted({name for series in resampled for name in series.values})
+    timestamps = np.arange(1, length + 1, dtype=np.int64) * bucket_ns
+    values: Dict[str, np.ndarray] = {}
+    for name in names:
+        stacked = np.zeros((len(resampled), length), dtype=np.float64)
+        for row, series in enumerate(resampled):
+            data = series.values.get(name)
+            if data is not None:
+                stacked[row, :len(data)] = data
+        values[name] = stacked.mean(axis=0)
+    return EventSeries(timestamps, values)

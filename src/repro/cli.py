@@ -1,0 +1,178 @@
+"""Command-line front end.
+
+Usage::
+
+    kleb-repro list
+    kleb-repro run table1 [--seed N] [--runs N] [--period-ms F]
+    kleb-repro run-all [--quick]
+    kleb-repro monitor --workload matmul --tool k-leb --period-ms 10
+
+``run`` executes one paper table/figure reproduction and prints the
+paper-style text output; ``monitor`` runs a single monitored trial and
+prints the report summary (handy for poking at the tools).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.timeseries import deltas, samples_to_series
+from repro.experiments import EXPERIMENTS
+from repro.experiments.report import sparkline, text_table
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms
+from repro.tools.registry import available_tools, create_tool
+from repro.workloads.dgemm import MklDgemm
+from repro.workloads.linpack import LinpackWorkload
+from repro.workloads.matmul import TripleLoopMatmul
+from repro.workloads.meltdown import MeltdownAttack, SecretPrinter
+
+_WORKLOADS = {
+    "matmul": lambda: TripleLoopMatmul(1024),
+    "dgemm": lambda: MklDgemm(),
+    "linpack": lambda: LinpackWorkload(5000),
+    "secret-printer": SecretPrinter,
+    "meltdown": MeltdownAttack,
+}
+
+# Small-parameter overrides for `run-all --quick`.
+_QUICK_KWARGS = {
+    "table1": {"trials": 3},
+    "table2": {"runs": 5},
+    "table3": {"runs": 5},
+    "fig4": {"trials": 3},
+    "fig5": {"iterations": 8, "cross_platform": False},
+    "fig6": {"rounds": 3},
+    "fig7": {},
+    "fig8": {"runs": 5},
+    "fig9": {},
+    "crosscheck": {},
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kleb-repro",
+        description="K-LEB (IISWC 2020) reproduction on a simulated machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible tables/figures")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--runs", type=int, default=None,
+                            help="override run/trial/round count")
+    run_parser.add_argument("--period-ms", type=float, default=None,
+                            help="override the sample period")
+
+    all_parser = sub.add_parser("run-all", help="run every experiment")
+    all_parser.add_argument("--quick", action="store_true",
+                            help="small populations for a fast pass")
+    all_parser.add_argument("--seed", type=int, default=0)
+
+    monitor = sub.add_parser("monitor", help="one monitored trial")
+    monitor.add_argument("--workload", choices=sorted(_WORKLOADS),
+                         default="matmul")
+    monitor.add_argument("--tool", choices=available_tools(),
+                         default="k-leb")
+    monitor.add_argument("--period-ms", type=float, default=10.0)
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--events", default="LOADS,STORES,BRANCHES,LLC_MISSES")
+    monitor.add_argument("--save-json", default=None, metavar="PATH",
+                         help="write the full report as JSON")
+    monitor.add_argument("--save-csv", default=None, metavar="PATH",
+                         help="write the sample series as CSV (K-LEB log layout)")
+    return parser
+
+
+def _run_experiment(experiment_id: str, seed: int,
+                    runs: Optional[int], period_ms: Optional[float]) -> str:
+    entry = EXPERIMENTS[experiment_id]
+    kwargs = {"seed": seed}
+    if runs is not None:
+        key = {"table1": "trials", "fig4": "trials",
+               "fig6": "rounds"}.get(experiment_id, "runs")
+        if experiment_id in ("fig7", "fig9", "crosscheck"):
+            pass  # single-run experiments
+        else:
+            kwargs[key] = runs
+    if period_ms is not None:
+        kwargs["period_ns"] = ms(period_ms)
+    result = entry.run(**kwargs)
+    return entry.render(result)
+
+
+def _cmd_list() -> int:
+    rows = [[entry.experiment_id, entry.description]
+            for entry in EXPERIMENTS.values()]
+    print(text_table(["id", "description"], rows,
+                     title="Reproducible tables and figures"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    print(_run_experiment(args.experiment, args.seed, args.runs,
+                          args.period_ms))
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    for experiment_id, entry in EXPERIMENTS.items():
+        kwargs = dict(_QUICK_KWARGS[experiment_id]) if args.quick else {}
+        kwargs["seed"] = args.seed
+        print(entry.render(entry.run(**kwargs)))
+        print("\n" + "#" * 72 + "\n")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    program = _WORKLOADS[args.workload]()
+    events = tuple(part.strip() for part in args.events.split(",") if part)
+    result = run_monitored(
+        program, create_tool(args.tool), events=events,
+        period_ns=ms(args.period_ms), seed=args.seed,
+    )
+    report = result.report
+    print(f"workload : {program.name}")
+    print(f"tool     : {report.tool} @ {report.period_ns / 1e6:g} ms")
+    print(f"wall time: {result.wall_ns / 1e9:.6f} s")
+    print(f"samples  : {report.sample_count}")
+    rows = [[name, f"{value:,.0f}"]
+            for name, value in sorted(report.totals.items())]
+    print(text_table(["event", "total"], rows))
+    series = deltas(samples_to_series(report.samples))
+    for name in events:
+        if len(series) and name in series.values:
+            print(f"{name:16s} {sparkline(series.event(name))}")
+    if args.save_json:
+        from repro.io import save_report_json
+
+        save_report_json(report, args.save_json)
+        print(f"report written to {args.save_json}")
+    if args.save_csv:
+        from repro.io import save_samples_csv
+
+        save_samples_csv(report, args.save_csv)
+        print(f"samples written to {args.save_csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "run-all":
+        return _cmd_run_all(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

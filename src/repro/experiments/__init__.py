@@ -1,0 +1,89 @@
+"""Experiment reproductions — one module per paper table/figure.
+
+Each module exposes ``run(...)`` returning a typed result object and
+``render(result)`` producing the paper-style text output.  The
+:data:`EXPERIMENTS` registry maps experiment ids to those entry points
+for the CLI and the benchmark harness.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments import (
+    crosscheck,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.runner import RunResult, run_monitored, run_trials
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """Registry record for one reproducible table/figure."""
+
+    experiment_id: str
+    description: str
+    run: Callable
+    render: Callable
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    entry.experiment_id: entry
+    for entry in [
+        ExperimentEntry(
+            "table1", "LINPACK GFLOPS across profiling tools",
+            table1.run, table1.render,
+        ),
+        ExperimentEntry(
+            "table2", "Overhead on triple-loop matmul (~2 s)",
+            table2.run, table2.render,
+        ),
+        ExperimentEntry(
+            "table3", "Overhead on MKL dgemm (<100 ms); LiMiT n/a",
+            table3.run, table3.render,
+        ),
+        ExperimentEntry(
+            "fig4", "LINPACK phase behaviour time series",
+            fig4.run, fig4.render,
+        ),
+        ExperimentEntry(
+            "fig5", "Docker image LLC MPKI classification",
+            fig5.run, fig5.render,
+        ),
+        ExperimentEntry(
+            "fig6", "Meltdown vs clean: mean LLC counts",
+            fig6.run, fig6.render,
+        ),
+        ExperimentEntry(
+            "fig7", "Meltdown time series at 100 us + detection",
+            fig7.run, fig7.render,
+        ),
+        ExperimentEntry(
+            "fig8", "Normalized runtime spread (box plots)",
+            fig8.run, fig8.render,
+        ),
+        ExperimentEntry(
+            "fig9", "Cross-tool count accuracy",
+            fig9.run, fig9.render,
+        ),
+        ExperimentEntry(
+            "crosscheck", "Local vs AWS platform count verification (<1%)",
+            crosscheck.run, crosscheck.render,
+        ),
+    ]
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentEntry",
+    "RunResult",
+    "run_monitored",
+    "run_trials",
+]

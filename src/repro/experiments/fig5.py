@@ -1,0 +1,123 @@
+"""Fig. 5 — LLC MPKI of workloads running in Docker containers.
+
+The paper attaches K-LEB to running containers (no instrumentation,
+binary-only) and classifies images by the Muralidhara MPKI>10 rule:
+interpreters land below 1, MySQL/Traefik/Ghost below 10, web servers
+above 10.  A second round on the AWS Xeon platform shifts the absolute
+values but preserves the low-to-high ordering — reproduced here by
+running the same images on both machine presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.classify import WorkloadClass, classify_mpki
+from repro.analysis.metrics import report_mpki
+from repro.experiments import report
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.presets import i7_920, xeon_8259cl
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import ms, seconds
+from repro.sim.rng import RngStreams
+from repro.tools.kleb import KLebTool
+from repro.workloads.docker import DockerEngine
+from repro.workloads.docker_images import DOCKER_IMAGES
+
+EVENTS = ("LLC_REFERENCES", "LLC_MISSES", "LOADS", "STORES")
+DEFAULT_IMAGES = tuple(sorted(DOCKER_IMAGES))
+
+
+@dataclass
+class Fig5Result:
+    """Per-image MPKI on one or more platforms."""
+
+    mpki: Dict[str, Dict[str, float]]        # platform -> image -> MPKI
+    classes: Dict[str, WorkloadClass]        # image -> class (primary platform)
+    images: List[str]
+    iterations: int
+    period_ns: int
+
+    @property
+    def primary_platform(self) -> str:
+        return next(iter(self.mpki))
+
+    def ranking(self, platform: str) -> List[str]:
+        """Images ordered by MPKI on ``platform`` (low to high)."""
+        values = self.mpki[platform]
+        return sorted(values, key=values.__getitem__)
+
+
+def _measure_platform(machine_config: MachineConfig, images: Sequence[str],
+                      iterations: int, period_ns: int,
+                      seed: int) -> Dict[str, float]:
+    values: Dict[str, float] = {}
+    for image in images:
+        machine = Machine(machine_config)
+        kernel = Kernel(machine, rng=RngStreams(seed))
+        engine = DockerEngine(kernel)
+        container = engine.run_container(image, iterations=iterations,
+                                         seed=seed)
+        session = KLebTool().attach(kernel, container.shim_task, EVENTS,
+                                    period_ns)
+        kernel.run_until_exit(container.shim_task, deadline=seconds(60))
+        values[image] = report_mpki(session.finalize().totals)
+    return values
+
+
+def run(images: Sequence[str] = DEFAULT_IMAGES, iterations: int = 15,
+        period_ns: int = ms(1), seed: int = 0,
+        cross_platform: bool = True,
+        machine_config: Optional[MachineConfig] = None) -> Fig5Result:
+    """Reproduce Fig. 5 (plus the paper's AWS cross-check)."""
+    primary = machine_config or i7_920()
+    mpki: Dict[str, Dict[str, float]] = {
+        primary.name: _measure_platform(primary, images, iterations,
+                                        period_ns, seed),
+    }
+    if cross_platform:
+        secondary = xeon_8259cl()
+        mpki[secondary.name] = _measure_platform(
+            secondary, images, iterations, period_ns, seed,
+        )
+    classes = {
+        image: classify_mpki(value)
+        for image, value in mpki[primary.name].items()
+    }
+    return Fig5Result(
+        mpki=mpki,
+        classes=classes,
+        images=list(images),
+        iterations=iterations,
+        period_ns=period_ns,
+    )
+
+
+def render(result: Fig5Result) -> str:
+    platforms = list(result.mpki)
+    headers = ["image"] + [f"MPKI ({platform})" for platform in platforms] + [
+        "class", "paper class",
+    ]
+    primary = result.primary_platform
+    ordered = result.ranking(primary)
+    rows: List[List[str]] = []
+    for image in ordered:
+        profile = DOCKER_IMAGES[image]
+        paper_class = ("memory-intensive" if profile.target_mpki > 10
+                       else "computation-intensive")
+        rows.append(
+            [image]
+            + [f"{result.mpki[platform][image]:.2f}" for platform in platforms]
+            + [result.classes[image].value, paper_class]
+        )
+    table = report.text_table(
+        headers, rows,
+        title=(f"Fig. 5 — Docker LLC MPKI ({result.iterations} iterations, "
+               f"K-LEB @ {result.period_ns / 1e6:g} ms)"),
+    )
+    if len(platforms) > 1:
+        consistent = result.ranking(platforms[0]) == result.ranking(platforms[1])
+        table += ("\n\nCross-platform ranking consistent: "
+                  f"{consistent} (paper: same low-to-high trend on AWS)")
+    return table

@@ -1,0 +1,60 @@
+"""Shared machinery for the overhead studies (Tables I-III, Fig. 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ToolUnsupportedError
+from repro.experiments.runner import run_trials
+from repro.hw.machine import MachineConfig
+from repro.tools.registry import create_tool
+from repro.workloads.base import Program
+
+OVERHEAD_EVENTS = ("LOADS", "STORES", "BRANCHES", "ARITH_MUL")
+
+
+@dataclass
+class ToolRuns:
+    """Wall times (and sample counts) of one tool's run population."""
+
+    tool: str
+    wall_ns: List[float] = field(default_factory=list)
+    sample_counts: List[int] = field(default_factory=list)
+    unsupported_reason: Optional[str] = None
+
+    @property
+    def supported(self) -> bool:
+        return self.unsupported_reason is None
+
+
+def collect_tool_runs(program: Program, tool_names: Sequence[str],
+                      runs: int, period_ns: int,
+                      events: Sequence[str] = OVERHEAD_EVENTS,
+                      base_seed: int = 0,
+                      machine_config: Optional[MachineConfig] = None
+                      ) -> Dict[str, ToolRuns]:
+    """Run every tool ``runs`` times over ``program``.
+
+    Unsupported pairings (LiMiT on a program needing a modern kernel)
+    are recorded with their reason rather than raised — the paper's
+    Table III reports "no data" for exactly that case.
+    """
+    results: Dict[str, ToolRuns] = {}
+    for name in tool_names:
+        record = ToolRuns(tool=name)
+        try:
+            trials = run_trials(
+                program, create_tool(name), runs=runs, events=events,
+                period_ns=period_ns, base_seed=base_seed,
+                machine_config=machine_config,
+            )
+        except ToolUnsupportedError as error:
+            record.unsupported_reason = str(error)
+        else:
+            record.wall_ns = [float(trial.wall_ns) for trial in trials]
+            record.sample_counts = [
+                trial.report.sample_count for trial in trials
+            ]
+        results[name] = record
+    return results

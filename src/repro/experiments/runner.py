@@ -1,0 +1,90 @@
+"""Single-trial runner: one machine, one kernel, one victim, one tool.
+
+Every experiment in the paper reduces to repetitions of this recipe:
+
+1. boot a fresh machine/kernel (seeded — trials are reproducible);
+2. let the tool rewrite the victim program if it needs source access;
+3. spawn the victim **stopped**, attach the tool, let the tool release
+   it (perf's enable-on-exec, K-LEB's start ioctl);
+4. run until the victim exits; finalize the session (drain buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.presets import i7_920
+from repro.kernel.config import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Task
+from repro.sim.clock import seconds
+from repro.sim.rng import RngStreams
+from repro.tools.base import MonitoringTool, ToolReport
+from repro.workloads.base import Program
+
+DEFAULT_EVENTS = ("LOADS", "STORES", "BRANCHES", "LLC_MISSES")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one monitored trial."""
+
+    report: ToolReport
+    victim: Task
+    kernel: Kernel
+
+    @property
+    def wall_ns(self) -> int:
+        """Victim wall-clock runtime (the overhead metric)."""
+        return self.victim.wall_time_ns or 0
+
+    @property
+    def cpu_ns(self) -> int:
+        return self.victim.cpu_time_ns
+
+
+def run_monitored(program: Program, tool: MonitoringTool,
+                  events: Sequence[str] = DEFAULT_EVENTS,
+                  period_ns: int = 10_000_000,
+                  seed: int = 0,
+                  machine_config: Optional[MachineConfig] = None,
+                  kernel_config: Optional[KernelConfig] = None,
+                  deadline_s: float = 300.0) -> RunResult:
+    """Run ``program`` under ``tool`` on a fresh system; see module doc."""
+    machine = Machine(machine_config or i7_920())
+    config = kernel_config or KernelConfig()
+    if tool.kernel_version is not None:
+        config = replace(config, kernel_version=tool.kernel_version)
+    kernel = Kernel(
+        machine,
+        config=config,
+        rng=RngStreams(seed),
+        patches=list(tool.required_patches),
+    )
+    tool.check_compatible(kernel, program)
+    prepared = tool.prepare_program(program, events, period_ns)
+    victim = kernel.spawn(prepared, start=False)
+    session = tool.attach(kernel, victim, events, period_ns)
+    kernel.run_until_exit(victim, deadline=seconds(deadline_s))
+    report = session.finalize()
+    return RunResult(report=report, victim=victim, kernel=kernel)
+
+
+def run_trials(program: Program, tool: MonitoringTool,
+               runs: int,
+               events: Sequence[str] = DEFAULT_EVENTS,
+               period_ns: int = 10_000_000,
+               base_seed: int = 0,
+               machine_config: Optional[MachineConfig] = None,
+               kernel_config: Optional[KernelConfig] = None) -> List[RunResult]:
+    """Repeat :func:`run_monitored` with per-trial seeds."""
+    return [
+        run_monitored(
+            program, tool, events=events, period_ns=period_ns,
+            seed=base_seed + trial, machine_config=machine_config,
+            kernel_config=kernel_config,
+        )
+        for trial in range(runs)
+    ]

@@ -1,0 +1,301 @@
+"""Set-associative cache hierarchy.
+
+Trace-driven workloads (the Meltdown case study, the Docker image
+working sets) replay explicit memory accesses through this model, so
+LLC reference/miss counts *emerge* from the access pattern rather than
+being scripted.  The model implements:
+
+* three levels (L1D, L2, LLC) of set-associative LRU caches;
+* ``clflush`` (needed by the Flush+Reload side channel);
+* per-access latency, used by the core to charge execution time;
+* the event increments each access produces for the PMU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CacheConfigError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.ways <= 0:
+            raise CacheConfigError(f"{self.name}: ways must be positive")
+        if not _is_power_of_two(self.line_bytes):
+            raise CacheConfigError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise CacheConfigError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise CacheConfigError(f"{self.name}: set count must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory access through the hierarchy."""
+
+    hit_level: Optional[str]        # cache level name, or None for memory
+    latency_cycles: int
+    events: Dict[str, float]        # PMU event increments for this access
+
+
+class CacheLevel:
+    """One set-associative, LRU-replacement cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._set_mask = config.num_sets - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._tag_shift = self._set_mask.bit_length()
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address >> self._line_shift
+        return line & self._set_mask, line >> self._tag_shift
+
+    def lookup(self, address: int) -> bool:
+        """Probe for ``address``; on hit, refresh LRU position."""
+        set_index, tag = self._locate(address)
+        entries = self._sets[set_index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int) -> Optional[int]:
+        """Install the line for ``address``; return the evicted tag, if any."""
+        set_index, tag = self._locate(address)
+        entries = self._sets[set_index]
+        evicted = None
+        if tag not in entries and len(entries) >= self.config.ways:
+            evicted, _ = entries.popitem(last=False)
+        entries[tag] = True
+        entries.move_to_end(tag)
+        return evicted
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address``; True if it was present."""
+        set_index, tag = self._locate(address)
+        return self._sets[set_index].pop(tag, None) is not None
+
+    def contains(self, address: int) -> bool:
+        """Non-perturbing presence check (does not update LRU or stats)."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush_all(self) -> None:
+        """Empty the cache (e.g. at task teardown in tests)."""
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(entries) for entries in self._sets)
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate hit/miss statistics per level."""
+
+    accesses: int = 0
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+    flushes: int = 0
+    prefetches: int = 0
+
+
+class CacheHierarchy:
+    """L1D -> L2 -> LLC lookup path with miss fills at every level.
+
+    ``prefetch_next_line=True`` enables a simple next-line hardware
+    prefetcher: a demand miss to memory also pulls the *following*
+    cache line into every level.  Relevant to the Meltdown case study:
+    the public PoC spaces its probe lines one page apart precisely so
+    a next-line prefetcher cannot pollute the side channel — line-spaced
+    probes would all "hit" after the first reload and leak nothing.
+    """
+
+    def __init__(self, levels: List[CacheConfig],
+                 memory_latency_cycles: int = 200,
+                 prefetch_next_line: bool = False,
+                 shared_llc: Optional[CacheLevel] = None) -> None:
+        """``shared_llc``: a pre-built :class:`CacheLevel` appended as
+        the last level — pass the same object to several hierarchies to
+        model cores (or co-located tenants) sharing an LLC.  Its config
+        replaces the last entry of ``levels``; with ``shared_llc`` set,
+        ``levels`` holds only the private levels."""
+        if not levels and shared_llc is None:
+            raise CacheConfigError("hierarchy needs at least one level")
+        self.levels = [CacheLevel(config) for config in levels]
+        if shared_llc is not None:
+            self.levels.append(shared_llc)
+        self.memory_latency_cycles = memory_latency_cycles
+        self.prefetch_next_line = prefetch_next_line
+        self.stats = HierarchyStats()
+        self._llc = self.levels[-1]
+        self._line_bytes = self.levels[0].config.line_bytes
+
+    def _prefetch(self, address: int) -> None:
+        """Fill ``address``'s line into every level (no latency charged
+        to the demand access — prefetches overlap with it)."""
+        self.stats.prefetches += 1
+        for level in self.levels:
+            line = address >> level._line_shift
+            set_index = line & level._set_mask
+            tag = line >> level._tag_shift
+            if tag not in level._sets[set_index]:
+                level.fill(address)
+
+    @property
+    def llc(self) -> CacheLevel:
+        """The last-level cache."""
+        return self._llc
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform one load/store and return where it hit.
+
+        Event semantics follow the Intel definitions used in the paper:
+        ``LLC_REFERENCES`` counts accesses that reach the LLC (i.e. miss
+        every earlier level); ``LLC_MISSES`` counts those that also miss
+        the LLC.  ``L1D_MISSES``/``L2_MISSES`` count per-level misses.
+        """
+        self.stats.accesses += 1
+        events: Dict[str, float] = {
+            "LOADS" if not is_write else "STORES": 1.0,
+        }
+        missed_levels: List[CacheLevel] = []
+        hit_level: Optional[CacheLevel] = None
+        for level in self.levels:
+            if level is self._llc:
+                events["LLC_REFERENCES"] = 1.0
+            if level.lookup(address):
+                hit_level = level
+                break
+            missed_levels.append(level)
+            miss_event = _MISS_EVENT.get(level.config.name)
+            if miss_event is not None:
+                events[miss_event] = 1.0
+
+        if hit_level is not None:
+            latency = hit_level.config.hit_latency_cycles
+            name: Optional[str] = hit_level.config.name
+            self.stats.hits[name] = self.stats.hits.get(name, 0) + 1
+        else:
+            latency = self.memory_latency_cycles
+            name = None
+            events["LLC_MISSES"] = 1.0
+            self.stats.misses["memory"] = self.stats.misses.get("memory", 0) + 1
+        for level in missed_levels:
+            level.fill(address)
+            key = level.config.name
+            self.stats.misses[key] = self.stats.misses.get(key, 0) + 1
+        if name is None and self.prefetch_next_line:
+            self._prefetch(address + self._line_bytes)
+        return AccessResult(hit_level=name, latency_cycles=latency, events=events)
+
+    def access_fast(self, address: int) -> int:
+        """Hot-path lookup: returns the hit level index (0-based) or
+        ``len(levels)`` for a memory access.
+
+        Semantically identical to :meth:`access` (LRU updates, fills,
+        per-level hit/miss counters) but allocates nothing; callers
+        accumulate event counts themselves.  Used by the core's trace
+        executor where per-access object construction dominates.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        levels = self.levels
+        hit_index = len(levels)
+        for index, level in enumerate(levels):
+            line = address >> level._line_shift
+            set_index = line & level._set_mask
+            tag = line >> level._tag_shift
+            entries = level._sets[set_index]
+            if tag in entries:
+                entries.move_to_end(tag)
+                level.hits += 1
+                hit_index = index
+                break
+            level.misses += 1
+        if hit_index < len(levels):
+            name = levels[hit_index].config.name
+            stats.hits[name] = stats.hits.get(name, 0) + 1
+        else:
+            stats.misses["memory"] = stats.misses.get("memory", 0) + 1
+        for level in levels[:hit_index]:
+            level.fill(address)
+            key = level.config.name
+            stats.misses[key] = stats.misses.get(key, 0) + 1
+        if hit_index == len(levels) and self.prefetch_next_line:
+            self._prefetch(address + self._line_bytes)
+        return hit_index
+
+    def clflush(self, address: int) -> None:
+        """Flush one line from every level (the Flush+Reload primitive)."""
+        self.stats.flushes += 1
+        for level in self.levels:
+            level.invalidate(address)
+
+    def contains(self, address: int) -> Optional[str]:
+        """Name of the first level holding ``address`` (non-perturbing)."""
+        for level in self.levels:
+            if level.contains(address):
+                return level.config.name
+        return None
+
+    def flush_all(self) -> None:
+        """Empty every level."""
+        for level in self.levels:
+            level.flush_all()
+
+
+_MISS_EVENT = {
+    "L1D": "L1D_MISSES",
+    "L2": "L2_MISSES",
+}
+
+
+def standard_hierarchy(l1_kib: int = 32, l2_kib: int = 256, llc_kib: int = 8192,
+                       memory_latency_cycles: int = 200) -> CacheHierarchy:
+    """Build a conventional three-level hierarchy.
+
+    Defaults approximate the paper's Intel i7-920 (Nehalem): 32 KiB L1D,
+    256 KiB private L2, 8 MiB shared LLC.
+    """
+    return CacheHierarchy(
+        [
+            CacheConfig("L1D", l1_kib * 1024, ways=8, hit_latency_cycles=4),
+            CacheConfig("L2", l2_kib * 1024, ways=8, hit_latency_cycles=12),
+            CacheConfig("LLC", llc_kib * 1024, ways=16, hit_latency_cycles=40),
+        ],
+        memory_latency_cycles=memory_latency_cycles,
+    )

@@ -1,0 +1,210 @@
+"""Simulated CPU core.
+
+The core turns workload blocks into elapsed time and PMU event counts:
+
+* :class:`~repro.workloads.base.RateBlock` — instructions convert to
+  cycles via the block's CPI; events accrue at the block's
+  per-instruction rates.
+* :class:`~repro.workloads.base.TraceBlock` — each memory operation is
+  replayed through the cache hierarchy; its latency is charged and its
+  cache events (LLC references/misses, ...) are recorded.  Each
+  simulated operation folds in ``event_scale`` real memory instructions
+  with spatial locality (the folded accesses hit L1 and cost ``cpi``).
+* :class:`~repro.workloads.base.SyscallBlock` — execution stops and the
+  block is handed back so the kernel can service the trap.
+
+Execution is *sliced*: the kernel bounds each call by the time of the
+next simulation event (timer fire, quantum expiry), and the cursor
+resumes mid-block after preemption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.hw.cache import CacheHierarchy
+from repro.hw.pmu import Pmu
+from repro.workloads.base import (
+    BlockCursor,
+    OpKind,
+    RateBlock,
+    SyscallBlock,
+    TraceBlock,
+)
+
+_FLUSH_LATENCY_CYCLES = 40
+_EPSILON_NS = 1e-6
+
+
+class ExecStop(enum.Enum):
+    """Why :meth:`Core.execute` returned."""
+
+    BUDGET = "budget"              # time slice exhausted
+    PROGRAM_DONE = "program-done"  # block stream exhausted
+    SYSCALL = "syscall"            # program trapped into the kernel
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one execution slice."""
+
+    consumed_ns: int
+    instructions: float
+    stop: ExecStop
+    syscall: Optional[SyscallBlock] = None
+
+
+class Core:
+    """One CPU core: executes block streams against a PMU and caches."""
+
+    def __init__(self, frequency_hz: float, pmu: Pmu, cache: CacheHierarchy,
+                 tsc_ratio: float = 1.0) -> None:
+        if frequency_hz <= 0:
+            raise SimulationError("core frequency must be positive")
+        self.frequency_hz = frequency_hz
+        self.pmu = pmu
+        self.cache = cache
+        self.tsc_ratio = tsc_ratio
+        self._ns_per_cycle = 1e9 / frequency_hz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self._ns_per_cycle
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns / self._ns_per_cycle
+
+    def execute(self, cursor: BlockCursor, budget_ns: int) -> ExecResult:
+        """Run the program at ``cursor`` for at most ``budget_ns``.
+
+        A trace operation whose latency straddles the budget boundary is
+        completed (slight overshoot), mirroring how a real CPU cannot
+        abandon an in-flight memory access; callers advance the clock by
+        the *actual* consumed time.
+        """
+        if budget_ns < 0:
+            raise SimulationError(f"negative execution budget {budget_ns}")
+        consumed = 0.0
+        instructions = 0.0
+        while consumed < budget_ns - _EPSILON_NS:
+            block = cursor.peek()
+            if block is None:
+                return ExecResult(int(round(consumed)), instructions,
+                                  ExecStop.PROGRAM_DONE)
+            if isinstance(block, SyscallBlock):
+                cursor.advance()
+                return ExecResult(int(round(consumed)), instructions,
+                                  ExecStop.SYSCALL, syscall=block)
+            if isinstance(block, RateBlock):
+                step_ns, step_instr = self._run_rate(
+                    cursor, block, budget_ns - consumed
+                )
+            elif isinstance(block, TraceBlock):
+                step_ns, step_instr = self._run_trace(
+                    cursor, block, budget_ns - consumed
+                )
+            else:  # pragma: no cover - the Block union is closed
+                raise SimulationError(f"unknown block type {type(block).__name__}")
+            consumed += step_ns
+            instructions += step_instr
+            if step_ns <= 0 and step_instr <= 0:
+                # Zero-width block (e.g. empty trace); skip it.
+                cursor.advance()
+        return ExecResult(int(round(consumed)), instructions, ExecStop.BUDGET)
+
+    # ------------------------------------------------------------------
+    def _run_rate(self, cursor: BlockCursor, block: RateBlock,
+                  budget_ns: float) -> tuple:
+        cycles_available = self.ns_to_cycles(budget_ns)
+        instr_possible = cycles_available / block.cpi
+        take = min(block.instructions, instr_possible)
+        if take <= 0:
+            cursor.consume_instructions(block.instructions)
+            return 0.0, 0.0
+        cycles = take * block.cpi
+        events: Dict[str, float] = {
+            name: rate * take for name, rate in block.rates.items()
+        }
+        events["INST_RETIRED"] = take
+        events["CORE_CYCLES"] = cycles
+        events["REF_CYCLES"] = cycles * self.tsc_ratio
+        self.pmu.accumulate(events, block.privilege)
+        cursor.consume_instructions(take)
+        return self.cycles_to_ns(cycles), take
+
+    def _run_trace(self, cursor: BlockCursor, block: TraceBlock,
+                   budget_ns: float) -> tuple:
+        budget_cycles = self.ns_to_cycles(budget_ns)
+        folded_instructions = block.instructions_per_op + block.event_scale - 1.0
+        folded_cycles = folded_instructions * block.cpi
+        cache = self.cache
+        clflush = cache.clflush
+        access_fast = cache.access_fast
+        # Latency per hit-level index; last entry is the memory access.
+        latencies = [level.config.hit_latency_cycles for level in cache.levels]
+        latencies.append(cache.memory_latency_cycles)
+        llc_index = len(cache.levels) - 1
+        memory_index = len(cache.levels)
+        flush_kind = OpKind.FLUSH
+        store_kind = OpKind.STORE
+
+        cycles = 0.0
+        loads = stores = flushes = 0.0
+        l1_misses = l2_misses = llc_refs = llc_misses = 0.0
+        instructions = 0.0
+        ops_done = 0
+        start = cursor.op_index
+        ops = block.ops
+        total = len(ops)
+        while start + ops_done < total and cycles < budget_cycles:
+            op = ops[start + ops_done]
+            cycles += folded_cycles
+            if op.kind is flush_kind:
+                clflush(op.address)
+                cycles += _FLUSH_LATENCY_CYCLES
+                flushes += 1.0
+                instructions += folded_instructions + 1.0
+            else:
+                hit_index = access_fast(op.address)
+                cycles += latencies[hit_index]
+                # The folded accesses are additional memory instructions
+                # hitting L1 (spatial locality within the cached line).
+                if op.kind is store_kind:
+                    stores += block.event_scale
+                else:
+                    loads += block.event_scale
+                if hit_index >= 1:
+                    l1_misses += 1.0
+                if hit_index >= 2:
+                    l2_misses += 1.0
+                if hit_index >= llc_index:
+                    llc_refs += 1.0
+                if hit_index == memory_index:
+                    llc_misses += 1.0
+                instructions += block.instructions_per_op + block.event_scale
+            ops_done += 1
+        if ops_done:
+            events: Dict[str, float] = {
+                "INST_RETIRED": instructions,
+                "CORE_CYCLES": cycles,
+                "REF_CYCLES": cycles * self.tsc_ratio,
+            }
+            if loads:
+                events["LOADS"] = loads
+            if stores:
+                events["STORES"] = stores
+            if flushes:
+                events["CACHE_FLUSHES"] = flushes
+            if l1_misses:
+                events["L1D_MISSES"] = l1_misses
+            if l2_misses:
+                events["L2_MISSES"] = l2_misses
+            if llc_refs:
+                events["LLC_REFERENCES"] = llc_refs
+            if llc_misses:
+                events["LLC_MISSES"] = llc_misses
+            self.pmu.accumulate(events, block.privilege)
+            cursor.consume_ops(ops_done)
+        return self.cycles_to_ns(cycles), instructions

@@ -1,0 +1,117 @@
+"""Hardware event catalogue.
+
+Mirrors the structure of the Intel event tables: each event has a
+select code and unit mask (the pair a tool writes into an
+``IA32_PERFEVTSELx`` register), and a kind flag distinguishing
+*architectural* events — stable, deterministic counts such as
+instructions retired, loads, stores, branches — from
+*microarchitectural* events whose counts depend on machine state
+(cache misses, branch mispredictions).  The paper's Fig. 9 leans on
+this distinction: cross-tool count comparison is done on architectural
+events because they are reproducible across runs and processors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import PMUError
+
+
+class EventKind(enum.Enum):
+    """Stability class of a hardware event."""
+
+    ARCHITECTURAL = "architectural"
+    MICROARCHITECTURAL = "microarchitectural"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A hardware event selectable on a programmable counter.
+
+    Attributes:
+        name: canonical name used throughout the package.
+        select: event-select code (what goes in PERFEVTSEL bits 0-7).
+        umask: unit mask (PERFEVTSEL bits 8-15).
+        kind: architectural vs microarchitectural.
+        description: human-readable summary.
+    """
+
+    name: str
+    select: int
+    umask: int
+    kind: EventKind
+    description: str
+
+    @property
+    def code(self) -> int:
+        """Packed (umask << 8) | select code as written to an MSR."""
+        return (self.umask << 8) | self.select
+
+
+def _arch(name: str, select: int, umask: int, description: str) -> Event:
+    return Event(name, select, umask, EventKind.ARCHITECTURAL, description)
+
+
+def _uarch(name: str, select: int, umask: int, description: str) -> Event:
+    return Event(name, select, umask, EventKind.MICROARCHITECTURAL, description)
+
+
+# Select/umask codes follow the Intel architectural performance
+# monitoring encodings where one exists; the remainder use stable
+# synthetic codes in the 0xC0-0xFF range.
+EVENT_CATALOGUE: Dict[str, Event] = {
+    event.name: event
+    for event in [
+        _arch("INST_RETIRED", 0xC0, 0x00, "Instructions retired"),
+        _arch("CORE_CYCLES", 0x3C, 0x00, "Unhalted core clock cycles"),
+        _arch("REF_CYCLES", 0x3C, 0x01, "Unhalted reference (TSC-rate) cycles"),
+        _arch("BRANCHES", 0xC4, 0x00, "Branch instructions retired"),
+        _arch("LOADS", 0xD0, 0x81, "Load instructions retired"),
+        _arch("STORES", 0xD0, 0x82, "Store instructions retired"),
+        _arch("ARITH_MUL", 0x14, 0x01, "Arithmetic multiply operations"),
+        _arch("FP_OPS", 0x10, 0x01, "Floating-point operations"),
+        _uarch("BRANCH_MISSES", 0xC5, 0x00, "Mispredicted branches retired"),
+        _uarch("LLC_REFERENCES", 0x2E, 0x4F, "Last-level cache references"),
+        _uarch("LLC_MISSES", 0x2E, 0x41, "Last-level cache misses"),
+        _uarch("L1D_MISSES", 0x51, 0x01, "L1 data cache misses"),
+        _uarch("L2_MISSES", 0x24, 0xAA, "L2 cache misses"),
+        _uarch("DTLB_MISSES", 0x49, 0x01, "Data TLB misses"),
+        _uarch("STALL_CYCLES", 0xA2, 0x01, "Resource stall cycles"),
+        _uarch("CACHE_FLUSHES", 0xF8, 0x01, "Cache line flush operations"),
+    ]
+}
+
+# Events pinned to the three fixed-function counters, in counter order
+# (IA32_FIXED_CTR0..2): instructions retired, unhalted core cycles,
+# unhalted reference cycles.
+FIXED_EVENTS: Tuple[str, str, str] = ("INST_RETIRED", "CORE_CYCLES", "REF_CYCLES")
+
+_BY_CODE: Dict[int, Event] = {event.code: event for event in EVENT_CATALOGUE.values()}
+
+
+def lookup(name: str) -> Event:
+    """Return the catalogue entry for ``name`` or raise :class:`PMUError`."""
+    try:
+        return EVENT_CATALOGUE[name]
+    except KeyError:
+        raise PMUError(f"unknown hardware event {name!r}") from None
+
+
+def lookup_code(code: int) -> Event:
+    """Return the event whose packed select/umask code is ``code``."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise PMUError(f"no event with select/umask code {code:#06x}") from None
+
+
+def architectural_events() -> Tuple[str, ...]:
+    """Names of all architectural (deterministic) events."""
+    return tuple(
+        name
+        for name, event in EVENT_CATALOGUE.items()
+        if event.kind is EventKind.ARCHITECTURAL
+    )

@@ -1,0 +1,76 @@
+"""The simulated machine: core + PMU + caches under one configuration.
+
+The reproduction models a single time-shared core.  That is sufficient
+(and faithful to the mechanism): the paper's overhead results come from
+monitoring work competing with the monitored program for CPU time, which
+a single-core run loop exposes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hw.cache import CacheConfig, CacheHierarchy, CacheLevel
+from repro.hw.core import Core
+from repro.hw.msr import MsrFile
+from repro.hw.pmu import Pmu
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to instantiate a :class:`Machine`.
+
+    Attributes:
+        name: human-readable platform name.
+        frequency_hz: core clock.
+        cache_levels: geometry of the cache hierarchy, L1 first.
+        memory_latency_cycles: DRAM access latency.
+        tsc_ratio: reference-cycle to core-cycle ratio.
+    """
+
+    name: str
+    frequency_hz: float
+    cache_levels: List[CacheConfig] = field(default_factory=list)
+    memory_latency_cycles: int = 200
+    tsc_ratio: float = 1.0
+    prefetch_next_line: bool = False
+
+
+class Machine:
+    """A configured single-core machine instance.
+
+    ``shared_llc`` replaces the config's last cache level with a
+    pre-built, shared :class:`~repro.hw.cache.CacheLevel` — the building
+    block for multi-core clusters where private L1/L2 sit in front of
+    one last-level cache (see :mod:`repro.apps.smp`).
+    """
+
+    def __init__(self, config: MachineConfig,
+                 shared_llc: "CacheLevel" = None) -> None:
+        self.config = config
+        self.msrs = MsrFile()
+        self.pmu = Pmu(self.msrs)
+        levels = list(config.cache_levels)
+        if shared_llc is not None:
+            levels = levels[:-1]
+        self.cache = CacheHierarchy(
+            levels,
+            memory_latency_cycles=config.memory_latency_cycles,
+            prefetch_next_line=config.prefetch_next_line,
+            shared_llc=shared_llc,
+        )
+        self.core = Core(
+            frequency_hz=config.frequency_hz,
+            pmu=self.pmu,
+            cache=self.cache,
+            tsc_ratio=config.tsc_ratio,
+        )
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ghz = self.config.frequency_hz / 1e9
+        return f"Machine({self.config.name!r} @ {ghz:.2f} GHz)"

@@ -1,0 +1,277 @@
+"""Performance monitoring unit.
+
+Implements the counter architecture the paper describes for modern
+Intel parts (§II-A): **three fixed counters** (instructions retired,
+unhalted core cycles, unhalted reference cycles) and **four
+programmable counters** driven by event-select registers with USR/OS
+privilege masks, enable bits, 48-bit width, and overflow interrupt
+delivery.
+
+Tools program the PMU through :meth:`Pmu.wrmsr` / :meth:`Pmu.rdmsr`
+exactly as a driver would; :meth:`Pmu.rdpmc` models the unprivileged
+fast-read instruction LiMiT uses from user space.
+
+Counts are delivered by the simulated core via :meth:`accumulate`.
+Internally counters keep fractional accumulators (rate-based workload
+blocks may contribute fractional events for a partial slice); reads
+expose the floored integer value, as hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import PMUError
+from repro.hw import events as ev
+from repro.hw.msr import (
+    MSR,
+    MsrFile,
+    EVTSEL_EVENT_MASK,
+    EVTSEL_UMASK_MASK,
+    EVTSEL_USR,
+    EVTSEL_OS,
+    EVTSEL_INT,
+    EVTSEL_EN,
+)
+
+NUM_PROGRAMMABLE = 4
+NUM_FIXED = 3
+COUNTER_WIDTH_BITS = 48
+_COUNTER_WRAP = 1 << COUNTER_WIDTH_BITS
+
+# rdpmc index space: fixed counters are selected with bit 30 set.
+RDPMC_FIXED_FLAG = 1 << 30
+
+OverflowHandler = Callable[[List[int]], None]
+
+_PMC_MSRS = (MSR.IA32_PMC0, MSR.IA32_PMC1, MSR.IA32_PMC2, MSR.IA32_PMC3)
+_EVTSEL_MSRS = (
+    MSR.IA32_PERFEVTSEL0,
+    MSR.IA32_PERFEVTSEL1,
+    MSR.IA32_PERFEVTSEL2,
+    MSR.IA32_PERFEVTSEL3,
+)
+_FIXED_MSRS = (MSR.IA32_FIXED_CTR0, MSR.IA32_FIXED_CTR1, MSR.IA32_FIXED_CTR2)
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Point-in-time values of every counter, keyed by event name."""
+
+    timestamp: int
+    fixed: Tuple[int, ...]
+    programmable: Tuple[int, ...]
+    by_event: Dict[str, int]
+
+
+class Pmu:
+    """One core's performance monitoring unit."""
+
+    def __init__(self, msr_file: Optional[MsrFile] = None) -> None:
+        self.msrs = msr_file if msr_file is not None else MsrFile()
+        self._pmc = [0.0] * NUM_PROGRAMMABLE
+        self._fixed = [0.0] * NUM_FIXED
+        self._overflow_handler: Optional[OverflowHandler] = None
+        # Overflow status per counter index: programmable 0..3 then
+        # fixed 32..34, matching IA32_PERF_GLOBAL_STATUS bit layout.
+        self._pending_overflow: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Register interface (what drivers use)
+    # ------------------------------------------------------------------
+    def wrmsr(self, address: int, value: int) -> None:
+        """Write an MSR, intercepting counter-value registers."""
+        if address in _PMC_MSRS:
+            index = _PMC_MSRS.index(address)
+            self._pmc[index] = float(int(value) % _COUNTER_WRAP)
+            return
+        if address in _FIXED_MSRS:
+            index = _FIXED_MSRS.index(address)
+            self._fixed[index] = float(int(value) % _COUNTER_WRAP)
+            return
+        self.msrs.write(address, value)
+
+    def rdmsr(self, address: int) -> int:
+        """Read an MSR, intercepting counter-value registers."""
+        if address in _PMC_MSRS:
+            return int(self._pmc[_PMC_MSRS.index(address)])
+        if address in _FIXED_MSRS:
+            return int(self._fixed[_FIXED_MSRS.index(address)])
+        return self.msrs.read(address)
+
+    def rdpmc(self, index: int) -> int:
+        """Unprivileged counter read (the LiMiT fast path).
+
+        Programmable counters are addressed ``0..3``; fixed counters are
+        addressed ``RDPMC_FIXED_FLAG | 0..2`` as on real hardware.
+        """
+        if index & RDPMC_FIXED_FLAG:
+            fixed_index = index & ~RDPMC_FIXED_FLAG
+            if not 0 <= fixed_index < NUM_FIXED:
+                raise PMUError(f"rdpmc of invalid fixed counter {fixed_index}")
+            return int(self._fixed[fixed_index])
+        if not 0 <= index < NUM_PROGRAMMABLE:
+            raise PMUError(f"rdpmc of invalid counter {index}")
+        return int(self._pmc[index])
+
+    def set_overflow_handler(self, handler: Optional[OverflowHandler]) -> None:
+        """Register the PMI delivery callback (None to disconnect)."""
+        self._overflow_handler = handler
+
+    # ------------------------------------------------------------------
+    # Convenience programming helpers (used by tool drivers)
+    # ------------------------------------------------------------------
+    def program_counter(self, index: int, event_name: str, *, user: bool = True,
+                        kernel: bool = False, interrupt_on_overflow: bool = False,
+                        enable: bool = True) -> None:
+        """Program one programmable counter for ``event_name``."""
+        if not 0 <= index < NUM_PROGRAMMABLE:
+            raise PMUError(f"no programmable counter {index}")
+        event = ev.lookup(event_name)
+        value = event.code & (EVTSEL_EVENT_MASK | EVTSEL_UMASK_MASK)
+        if user:
+            value |= EVTSEL_USR
+        if kernel:
+            value |= EVTSEL_OS
+        if interrupt_on_overflow:
+            value |= EVTSEL_INT
+        if enable:
+            value |= EVTSEL_EN
+        self.wrmsr(_EVTSEL_MSRS[index], value)
+        self.wrmsr(_PMC_MSRS[index], 0)
+
+    def enable_fixed(self, *, user: bool = True, kernel: bool = False) -> None:
+        """Enable all three fixed counters with the given privilege mask."""
+        field = (0b10 if user else 0) | (0b01 if kernel else 0)
+        ctrl = 0
+        for index in range(NUM_FIXED):
+            ctrl |= field << (4 * index)
+        self.wrmsr(MSR.IA32_FIXED_CTR_CTRL, ctrl)
+
+    def global_enable(self, *, programmable: bool = True, fixed: bool = True) -> None:
+        """Set IA32_PERF_GLOBAL_CTRL enable bits."""
+        value = 0
+        if programmable:
+            value |= (1 << NUM_PROGRAMMABLE) - 1
+        if fixed:
+            value |= ((1 << NUM_FIXED) - 1) << 32
+        self.wrmsr(MSR.IA32_PERF_GLOBAL_CTRL, value)
+
+    def global_disable(self) -> None:
+        """Clear IA32_PERF_GLOBAL_CTRL — freezes every counter."""
+        self.wrmsr(MSR.IA32_PERF_GLOBAL_CTRL, 0)
+
+    def reset_counters(self) -> None:
+        """Zero all counter values (config registers untouched)."""
+        self._pmc = [0.0] * NUM_PROGRAMMABLE
+        self._fixed = [0.0] * NUM_FIXED
+
+    # ------------------------------------------------------------------
+    # Count delivery (called by the simulated core)
+    # ------------------------------------------------------------------
+    def accumulate(self, counts: Mapping[str, float], privilege: str) -> None:
+        """Add event occurrences observed during an execution slice.
+
+        Args:
+            counts: event name -> (possibly fractional) occurrence count.
+            privilege: ``"user"`` or ``"kernel"`` — which ring the slice
+                executed in; counters whose privilege mask excludes the
+                ring ignore the contribution.
+        """
+        if privilege not in ("user", "kernel"):
+            raise PMUError(f"invalid privilege {privilege!r}")
+        global_ctrl = self.msrs.read(MSR.IA32_PERF_GLOBAL_CTRL)
+        if global_ctrl == 0 or not counts:
+            return
+        overflowed: List[int] = []
+
+        fixed_ctrl = self.msrs.read(MSR.IA32_FIXED_CTR_CTRL)
+        for index, event_name in enumerate(ev.FIXED_EVENTS):
+            if not global_ctrl & (1 << (32 + index)):
+                continue
+            field = (fixed_ctrl >> (4 * index)) & 0b11
+            counted = (field & 0b10 and privilege == "user") or (
+                field & 0b01 and privilege == "kernel"
+            )
+            if not counted:
+                continue
+            amount = counts.get(event_name, 0.0)
+            if amount <= 0.0:
+                continue
+            self._fixed[index] += amount
+            if self._fixed[index] >= _COUNTER_WRAP:
+                self._fixed[index] %= _COUNTER_WRAP
+                overflowed.append(32 + index)
+
+        for index in range(NUM_PROGRAMMABLE):
+            if not global_ctrl & (1 << index):
+                continue
+            evtsel = self.msrs.read(_EVTSEL_MSRS[index])
+            if not evtsel & EVTSEL_EN:
+                continue
+            counted = (evtsel & EVTSEL_USR and privilege == "user") or (
+                evtsel & EVTSEL_OS and privilege == "kernel"
+            )
+            if not counted:
+                continue
+            code = evtsel & (EVTSEL_EVENT_MASK | EVTSEL_UMASK_MASK)
+            try:
+                event = ev.lookup_code(code)
+            except PMUError:
+                continue  # counter programmed with an unknown code: counts nothing
+            amount = counts.get(event.name, 0.0)
+            if amount <= 0.0:
+                continue
+            self._pmc[index] += amount
+            if self._pmc[index] >= _COUNTER_WRAP:
+                wraps = int(self._pmc[index] // _COUNTER_WRAP)
+                self._pmc[index] %= _COUNTER_WRAP
+                overflowed.append(index)
+                if evtsel & EVTSEL_INT:
+                    # One PMI per wrap: a coarse execution slice may
+                    # cross several sampling periods at once; the
+                    # interrupts coalesce in delivery time (skid) but
+                    # not in count, keeping period-based estimates true.
+                    self._pending_overflow.extend([index] * wraps)
+
+        if overflowed:
+            status = self.msrs.read(MSR.IA32_PERF_GLOBAL_STATUS)
+            for bit in overflowed:
+                status |= 1 << bit
+            self.msrs.write(MSR.IA32_PERF_GLOBAL_STATUS, status)
+        if self._pending_overflow and self._overflow_handler is not None:
+            pending, self._pending_overflow = self._pending_overflow, []
+            # PMI delivery happens at slice granularity — the analogue of
+            # real PMU interrupt skid.
+            self._overflow_handler(pending)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def counter_event(self, index: int) -> Optional[str]:
+        """Event name currently programmed on programmable counter ``index``."""
+        evtsel = self.msrs.read(_EVTSEL_MSRS[index])
+        if not evtsel & EVTSEL_EN:
+            return None
+        code = evtsel & (EVTSEL_EVENT_MASK | EVTSEL_UMASK_MASK)
+        try:
+            return ev.lookup_code(code).name
+        except PMUError:
+            return None
+
+    def snapshot(self, timestamp: int) -> CounterSnapshot:
+        """Read every counter at once (what a sampling interrupt does)."""
+        by_event: Dict[str, int] = {}
+        for index, event_name in enumerate(ev.FIXED_EVENTS):
+            by_event[event_name] = int(self._fixed[index])
+        for index in range(NUM_PROGRAMMABLE):
+            name = self.counter_event(index)
+            if name is not None:
+                by_event[name] = int(self._pmc[index])
+        return CounterSnapshot(
+            timestamp=timestamp,
+            fixed=tuple(int(value) for value in self._fixed),
+            programmable=tuple(int(value) for value in self._pmc),
+            by_event=by_event,
+        )

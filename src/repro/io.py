@@ -1,0 +1,122 @@
+"""Report persistence: JSON round-trip and CSV sample logs.
+
+K-LEB's controller logs samples to the file system (paper §III); this
+module is the user-space side of that story: write a
+:class:`~repro.tools.base.ToolReport` to disk in the CSV layout the
+real tool produces (one row per sample, one column per event) or as a
+lossless JSON document, and read either back.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import ReproError
+from repro.tools.base import Sample, ToolReport
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class ReportIOError(ReproError):
+    """Malformed report file or incompatible version."""
+
+
+def save_report_json(report: ToolReport, path: PathLike) -> None:
+    """Write a lossless JSON serialization of ``report``."""
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "tool": report.tool,
+        "events": list(report.events),
+        "period_ns": report.period_ns,
+        "victim_wall_ns": report.victim_wall_ns,
+        "victim_pid": report.victim_pid,
+        "totals": dict(report.totals),
+        "metadata": dict(report.metadata),
+        "samples": [
+            {"timestamp": sample.timestamp, "values": dict(sample.values)}
+            for sample in report.samples
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_report_json(path: PathLike) -> ToolReport:
+    """Read a report previously written by :func:`save_report_json`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReportIOError(f"cannot read report from {path}: {error}") from error
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReportIOError(
+            f"unsupported report format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    try:
+        samples = [
+            Sample(timestamp=int(entry["timestamp"]),
+                   values={name: int(value)
+                           for name, value in entry["values"].items()})
+            for entry in document["samples"]
+        ]
+        return ToolReport(
+            tool=document["tool"],
+            events=list(document["events"]),
+            period_ns=int(document["period_ns"]),
+            samples=samples,
+            totals={name: float(value)
+                    for name, value in document["totals"].items()},
+            victim_wall_ns=int(document["victim_wall_ns"]),
+            victim_pid=int(document["victim_pid"]),
+            metadata={name: float(value)
+                      for name, value in document.get("metadata", {}).items()},
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReportIOError(f"malformed report document: {error}") from error
+
+
+def save_samples_csv(report: ToolReport, path: PathLike) -> None:
+    """Write the sample series as CSV (K-LEB's on-disk log layout).
+
+    Columns: ``timestamp_ns`` followed by one column per event present
+    in the first sample.
+    """
+    if not report.samples:
+        raise ReportIOError("report has no samples to write")
+    columns = sorted(report.samples[0].values)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp_ns"] + columns)
+        for sample in report.samples:
+            writer.writerow(
+                [sample.timestamp]
+                + [sample.values.get(name, 0) for name in columns]
+            )
+
+
+def load_samples_csv(path: PathLike) -> List[Sample]:
+    """Read a CSV sample log back into :class:`Sample` objects."""
+    try:
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if not header or header[0] != "timestamp_ns":
+                raise ReportIOError(f"{path}: not a sample log (bad header)")
+            columns = header[1:]
+            samples = []
+            for row in reader:
+                samples.append(Sample(
+                    timestamp=int(row[0]),
+                    values={name: int(value)
+                            for name, value in zip(columns, row[1:])},
+                ))
+            return samples
+    except OSError as error:
+        raise ReportIOError(f"cannot read {path}: {error}") from error
+    except ValueError as error:
+        raise ReportIOError(f"{path}: malformed sample row: {error}") from error

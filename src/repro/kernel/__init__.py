@@ -1,0 +1,33 @@
+"""Simulated operating-system kernel.
+
+Provides the substrate K-LEB runs on: a time-sharing scheduler with
+context-switch probe points (kprobes), a high-resolution kernel timer
+(HRTimer) with jitter, a jiffy-resolution user-space timer (the 10 ms
+floor the paper attributes to perf), a loadable-module API with
+``ioctl``, a syscall layer with an explicit cost model, and process
+lifecycle tracking (PID/PPID/children — what K-LEB uses to trace a
+multi-process application).
+"""
+
+from repro.kernel.config import KernelConfig, SyscallCosts
+from repro.kernel.process import Task, TaskState
+from repro.kernel.kprobes import KprobeManager, ProbePoint
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.hrtimer import HrTimer
+from repro.kernel.ringbuffer import RingBuffer
+from repro.kernel.module import KernelModule
+from repro.kernel.kernel import Kernel
+
+__all__ = [
+    "KernelConfig",
+    "SyscallCosts",
+    "Task",
+    "TaskState",
+    "KprobeManager",
+    "ProbePoint",
+    "Scheduler",
+    "HrTimer",
+    "RingBuffer",
+    "KernelModule",
+    "Kernel",
+]

@@ -1,0 +1,75 @@
+"""Kernel probe points.
+
+K-LEB attaches probes to the scheduler's context-switch handler to
+start/stop counting when the monitored process is scheduled in/out
+(§III, Fig. 3).  This module provides the registry: well-known probe
+points, handler registration with handles, and firing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List
+
+
+class ProbePoint(enum.Enum):
+    """Probe points the simulated kernel exposes."""
+
+    SCHED_SWITCH_IN = "sched:switch_in"    # args: (task,)
+    SCHED_SWITCH_OUT = "sched:switch_out"  # args: (task,)
+    PROCESS_FORK = "process:fork"          # args: (parent, child)
+    PROCESS_EXIT = "process:exit"          # args: (task,)
+
+
+class KprobeHandle:
+    """Handle returned by registration; used to unregister."""
+
+    __slots__ = ("point", "handler", "_active")
+
+    def __init__(self, point: ProbePoint, handler: Callable) -> None:
+        self.point = point
+        self.handler = handler
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def _deactivate(self) -> None:
+        self._active = False
+
+
+class KprobeManager:
+    """Registry and dispatcher for kernel probes."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[ProbePoint, List[KprobeHandle]] = {
+            point: [] for point in ProbePoint
+        }
+
+    def register(self, point: ProbePoint, handler: Callable) -> KprobeHandle:
+        """Attach ``handler`` to ``point``; returns an unregistration handle."""
+        handle = KprobeHandle(point, handler)
+        self._handlers[point].append(handle)
+        return handle
+
+    def unregister(self, handle: KprobeHandle) -> None:
+        """Detach a previously registered handler.  Idempotent."""
+        handle._deactivate()
+        self._handlers[handle.point] = [
+            existing for existing in self._handlers[handle.point]
+            if existing is not handle
+        ]
+
+    def fire(self, point: ProbePoint, *args) -> int:
+        """Invoke every handler attached to ``point``; returns the count."""
+        fired = 0
+        for handle in list(self._handlers[point]):
+            if handle.active:
+                handle.handler(*args)
+                fired += 1
+        return fired
+
+    def count(self, point: ProbePoint) -> int:
+        """Number of active handlers on ``point``."""
+        return len(self._handlers[point])

@@ -1,0 +1,87 @@
+"""Process (task) model.
+
+Tasks carry the bookkeeping K-LEB's tracing needs (§III): PID, parent
+PID, command name, state, and children — "since a single application
+can have multiple PIDs, we also collect and use information such as
+process name, process id, parent process id, and process states to
+effectively trace the process, and its children."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ProcessError
+from repro.workloads.base import BlockCursor, Program
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states, mirroring the Linux task states we need."""
+
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    EXITED = "exited"
+
+
+_ALLOWED_TRANSITIONS = {
+    TaskState.RUNNABLE: {TaskState.RUNNING, TaskState.EXITED},
+    TaskState.RUNNING: {TaskState.RUNNABLE, TaskState.SLEEPING, TaskState.EXITED},
+    TaskState.SLEEPING: {TaskState.RUNNABLE, TaskState.EXITED},
+    TaskState.EXITED: set(),
+}
+
+
+class Task:
+    """One schedulable process."""
+
+    def __init__(self, pid: int, name: str, program: Program,
+                 ppid: int = 0, start_time: int = 0, nice: int = 0) -> None:
+        if not -20 <= nice <= 19:
+            raise ProcessError(f"nice value {nice} outside -20..19")
+        self.pid = pid
+        self.ppid = ppid
+        self.name = name
+        self.nice = nice
+        self.program = program
+        self.cursor = BlockCursor(program)
+        self.state = TaskState.RUNNABLE
+        self.start_time = start_time
+        self.exit_time: Optional[int] = None
+        self.cpu_time_ns = 0
+        self.instructions_retired = 0.0
+        self.children: List[int] = []
+        self.on_exit: List[Callable[["Task"], None]] = []
+        # Scratch area for tool/driver state attached to this task
+        # (e.g. LiMiT's user-space counter shadow).
+        self.scratch: Dict[str, object] = {}
+        self.last_syscall_result: object = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not TaskState.EXITED
+
+    @property
+    def wall_time_ns(self) -> Optional[int]:
+        """Lifetime from spawn to exit; None while still alive."""
+        if self.exit_time is None:
+            return None
+        return self.exit_time - self.start_time
+
+    def set_state(self, new_state: TaskState) -> None:
+        """Transition state, enforcing the lifecycle graph."""
+        if new_state is self.state:
+            return
+        if new_state not in _ALLOWED_TRANSITIONS[self.state]:
+            raise ProcessError(
+                f"pid {self.pid}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task(pid={self.pid}, name={self.name!r}, "
+            f"state={self.state.value})"
+        )

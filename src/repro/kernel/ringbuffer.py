@@ -1,0 +1,84 @@
+"""Kernel sample ring buffer with back-pressure.
+
+K-LEB pools samples in kernel memory until the controller process is
+scheduled and drains them with batched reads (§III).  If the controller
+is starved and the buffer fills, a *safety mechanism* pauses collection
+until space is freed — implemented here as the ``paused`` flag, which
+the K-LEB module checks before pushing and clears on drain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from repro.errors import KernelError
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """Bounded FIFO with explicit back-pressure accounting."""
+
+    def __init__(self, capacity: int,
+                 resume_threshold: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise KernelError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        # Collection resumes once occupancy drops to this level.
+        self.resume_threshold = (
+            resume_threshold if resume_threshold is not None else capacity // 2
+        )
+        if not 0 <= self.resume_threshold < capacity:
+            raise KernelError("resume threshold must be in [0, capacity)")
+        self._entries: Deque[T] = deque()
+        self.paused = False
+        self.dropped = 0
+        self.total_pushed = 0
+        self.pause_episodes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def push(self, item: T) -> bool:
+        """Append a sample; returns False (and pauses) when full.
+
+        While paused, pushes are refused and counted as dropped — the
+        module is expected to stop producing until :meth:`drain` frees
+        space below the resume threshold.
+        """
+        if self.paused or self.full:
+            if not self.paused:
+                self.paused = True
+                self.pause_episodes += 1
+            self.dropped += 1
+            return False
+        self._entries.append(item)
+        self.total_pushed += 1
+        if self.full:
+            self.paused = True
+            self.pause_episodes += 1
+        return True
+
+    def drain(self, max_items: Optional[int] = None) -> List[T]:
+        """Remove and return up to ``max_items`` samples (all by default)."""
+        count = len(self._entries) if max_items is None else min(
+            max_items, len(self._entries)
+        )
+        drained = [self._entries.popleft() for _ in range(count)]
+        if self.paused and len(self._entries) <= self.resume_threshold:
+            self.paused = False
+        return drained
+
+    def clear(self) -> None:
+        """Drop everything and resume collection."""
+        self._entries.clear()
+        self.paused = False

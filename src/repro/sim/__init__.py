@@ -1,0 +1,33 @@
+"""Discrete-event simulation core.
+
+The whole reproduction runs on integer-nanosecond simulated time.  This
+package provides the clock, the event queue, and deterministic random
+number streams that every other layer builds on.
+"""
+
+from repro.sim.clock import (
+    Clock,
+    NS_PER_US,
+    NS_PER_MS,
+    NS_PER_SEC,
+    us,
+    ms,
+    seconds,
+    format_ns,
+)
+from repro.sim.engine import EventQueue, ScheduledEvent
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Clock",
+    "EventQueue",
+    "ScheduledEvent",
+    "RngStreams",
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "us",
+    "ms",
+    "seconds",
+    "format_ns",
+]

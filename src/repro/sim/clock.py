@@ -1,0 +1,84 @@
+"""Simulated time.
+
+All simulated time in this package is expressed as **integer
+nanoseconds**.  Helper constructors (:func:`us`, :func:`ms`,
+:func:`seconds`) convert human-friendly quantities and keep call sites
+readable: ``hrtimer.start(period=us(100))``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Microseconds expressed as integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Milliseconds expressed as integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def seconds(value: float) -> int:
+    """Seconds expressed as integer nanoseconds."""
+    return int(round(value * NS_PER_SEC))
+
+
+def format_ns(value: int) -> str:
+    """Render a nanosecond quantity with a readable unit.
+
+    >>> format_ns(2_500_000)
+    '2.500ms'
+    """
+    if abs(value) >= NS_PER_SEC:
+        return f"{value / NS_PER_SEC:.3f}s"
+    if abs(value) >= NS_PER_MS:
+        return f"{value / NS_PER_MS:.3f}ms"
+    if abs(value) >= NS_PER_US:
+        return f"{value / NS_PER_US:.3f}us"
+    return f"{value}ns"
+
+
+class Clock:
+    """Monotonic simulated clock.
+
+    The clock only ever moves forward.  Components read ``clock.now`` and
+    the kernel run loop advances it as work is consumed or events fire.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta: int) -> int:
+        """Move time forward by ``delta`` nanoseconds and return the new time."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta}")
+        self._now += int(delta)
+        return self._now
+
+    def advance_to(self, when: int) -> int:
+        """Move time forward to the absolute instant ``when``."""
+        if when < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {when}"
+            )
+        self._now = int(when)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={format_ns(self._now)})"

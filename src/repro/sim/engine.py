@@ -1,0 +1,119 @@
+"""Event queue for the discrete-event simulation.
+
+The queue stores callbacks keyed by absolute fire time.  The kernel run
+loop peeks at the next event time to bound how long the CPU may execute
+uninterrupted, then dispatches every event that has come due.
+
+Events may be cancelled; cancellation is lazy (the entry stays in the
+heap but is skipped at dispatch), which keeps both operations O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[int], None]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    when: int
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("when", "callback", "label", "_cancelled")
+
+    def __init__(self, when: int, callback: EventCallback, label: str) -> None:
+        self.when = when
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"ScheduledEvent({self.label!r} @ {self.when}ns, {state})"
+
+
+class EventQueue:
+    """Priority queue of timed callbacks.
+
+    Ties on fire time dispatch in insertion order, which keeps the
+    simulation deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._dispatching = False
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def schedule(self, when: int, callback: EventCallback,
+                 label: str = "event") -> ScheduledEvent:
+        """Register ``callback`` to fire at absolute time ``when``.
+
+        The callback receives the scheduled fire time (which may be
+        earlier than the clock if dispatch was delayed by uninterruptible
+        work — analogous to interrupt latency on real hardware).
+        """
+        if when < 0:
+            raise SimulationError(f"cannot schedule event at negative time {when}")
+        event = ScheduledEvent(when, callback, label)
+        heapq.heappush(self._heap, _HeapEntry(when, next(self._seq), event))
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Fire time of the earliest pending event, or None when empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].when
+
+    def dispatch_due(self, now: int) -> int:
+        """Fire every pending event with ``when <= now``.
+
+        Returns the number of callbacks invoked.  Callbacks may schedule
+        further events, including ones that are already due; those are
+        dispatched in the same call.
+        """
+        if self._dispatching:
+            # A callback calling back into dispatch would reorder events.
+            raise SimulationError("re-entrant event dispatch")
+        self._dispatching = True
+        fired = 0
+        try:
+            while self._heap and self._heap[0].when <= now:
+                entry = heapq.heappop(self._heap)
+                if entry.event.cancelled:
+                    continue
+                entry.event.callback(entry.when)
+                fired += 1
+        finally:
+            self._dispatching = False
+        return fired
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)

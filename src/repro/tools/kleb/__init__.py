@@ -1,0 +1,20 @@
+"""K-LEB: the paper's contribution.
+
+Three pieces, matching Fig. 1 of the paper:
+
+* :class:`~repro.tools.kleb.module.KLebModule` — the kernel module:
+  HRTimer-driven sampling, kprobe-based per-PID counter isolation,
+  kernel ring buffer with back-pressure.
+* :class:`~repro.tools.kleb.controller.KLebControllerProgram` — the
+  user-space controller process: configures the module over ``ioctl``,
+  periodically drains samples with batched reads, logs them.
+* :class:`~repro.tools.kleb.tool.KLebTool` — the
+  :class:`~repro.tools.base.MonitoringTool` front-end gluing them
+  together for experiments.
+"""
+
+from repro.tools.kleb.module import KLebModule, KLebModuleConfig
+from repro.tools.kleb.controller import KLebControllerProgram
+from repro.tools.kleb.tool import KLebTool
+
+__all__ = ["KLebModule", "KLebModuleConfig", "KLebControllerProgram", "KLebTool"]

@@ -1,0 +1,124 @@
+"""The K-LEB user-space controller process.
+
+Responsibilities (paper Fig. 1, right half):
+
+* configure the kernel module and select the monitored PID (``ioctl``);
+* start/stop collection;
+* periodically wake up, drain pooled samples from kernel memory with a
+  batched ``read``, and log them to the file system from user space
+  (kernel developers recommend against file I/O in kernel space — §III).
+
+The controller's logging work is ordinary user-space execution on the
+same machine, so its cost competes with the monitored program for CPU
+time — this is where most of K-LEB's (small) overhead comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.clock import ms
+from repro.tools import costs
+from repro.tools.base import Sample
+from repro.tools.kleb.module import KLebModule, KLebModuleConfig
+from repro.workloads.base import Block, Program, RateBlock, SyscallBlock
+
+_LOG_RATES = {"LOADS": 0.38, "STORES": 0.27, "BRANCHES": 0.12}
+
+
+@dataclass
+class ControllerState:
+    """Shared state between the controller program and the tool session."""
+
+    samples: List[Sample] = field(default_factory=list)
+    totals: Optional[Dict[str, int]] = None
+    stop_requested: bool = False
+    started: bool = False
+    log_bytes: int = 0
+
+
+class KLebControllerProgram(Program):
+    """Block stream of the controller process.
+
+    The program is a *generator*: each decision (how much to drain,
+    when to stop) is made when the previous block finishes executing,
+    interleaved with the rest of the simulated system — just like a
+    real process.
+    """
+
+    def __init__(self, module: KLebModule, target_pid: int,
+                 module_config: KLebModuleConfig, state: ControllerState,
+                 cost_factor: float = 1.0,
+                 start_target: bool = True) -> None:
+        self.name = "k-leb-controller"
+        self.module = module
+        self.target_pid = target_pid
+        self.module_config = module_config
+        self.state = state
+        self.cost_factor = cost_factor
+        self.start_target = start_target
+        drain_every = costs.KLEB_DRAIN_EVERY_PERIODS * module_config.period_ns
+        self.drain_interval_ns = max(drain_every, ms(10))
+
+    def blocks(self) -> Iterator[Block]:
+        module = self.module
+        state = self.state
+
+        yield SyscallBlock(
+            "ioctl",
+            handler=lambda kernel, task: module.ioctl("config",
+                                                      self.module_config),
+            label="ioctl-config",
+        )
+
+        def do_start(kernel, task):
+            module.ioctl("start", self.target_pid)
+            if self.start_target:
+                kernel.start_task(kernel.task(self.target_pid))
+            state.started = True
+            return True
+
+        yield SyscallBlock("ioctl", handler=do_start, label="ioctl-start")
+
+        batch_holder: Dict[str, List[Sample]] = {}
+        while True:
+            yield SyscallBlock(
+                "nanosleep",
+                handler=lambda kernel, task: kernel.sleep_current(
+                    self.drain_interval_ns
+                ),
+                label="sleep-drain",
+            )
+
+            def do_read(kernel, task):
+                batch = module.read()
+                batch_holder["batch"] = batch
+                return len(batch)
+
+            yield SyscallBlock("read", handler=do_read, label="read-samples")
+            batch = batch_holder.pop("batch", [])
+            state.samples.extend(batch)
+            if batch:
+                # CSV formatting in user space, then one buffered write.
+                instructions = (
+                    len(batch)
+                    * costs.KLEB_LOG_USER_INSTRUCTIONS_PER_SAMPLE
+                    * self.cost_factor
+                )
+                state.log_bytes += len(batch) * 64
+                yield RateBlock(instructions=instructions,
+                                rates=dict(_LOG_RATES), cpi=1.0,
+                                label="format-log")
+                yield SyscallBlock("write", label="write-log")
+            if state.stop_requested and not module.collecting \
+                    and module.pending_samples == 0:
+                break
+
+        def do_stop(kernel, task):
+            if module.collecting:
+                module.ioctl("stop")
+            state.totals = dict(module.final_totals or {})
+            return state.totals
+
+        yield SyscallBlock("ioctl", handler=do_stop, label="ioctl-stop")

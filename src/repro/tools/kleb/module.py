@@ -1,0 +1,291 @@
+"""The K-LEB kernel module.
+
+Implements the paper's process flow (Fig. 2):
+
+1. ``ioctl`` passes in the initial PID, hardware events, and timer
+   period; the module allocates its sample buffer.
+2. While the monitored process runs, the HRTimer periodically fires a
+   hardware interrupt whose handler reads the PMU and appends a sample
+   row to the kernel buffer.
+3. When the monitored process is scheduled out, kprobes on the context
+   switch path stop the HRTimer and disable the counters (isolation);
+   scheduling back in restarts both.
+4. A stop ``ioctl`` (or the process exiting) ends collection.
+5. The controller drains pooled samples via batched ``read`` calls.
+
+The safety mechanism (§III): if the controller is starved and the
+buffer fills, collection pauses until a drain frees space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ModuleError, ToolError
+from repro.kernel.kprobes import ProbePoint
+from repro.kernel.module import KernelModule
+from repro.kernel.process import Task
+from repro.kernel.ringbuffer import RingBuffer
+from repro.kernel.hrtimer import HrTimer
+from repro.hw.pmu import NUM_PROGRAMMABLE
+from repro.sim.clock import us
+from repro.tools import costs
+from repro.tools.base import Sample
+
+
+@dataclass
+class KLebModuleConfig:
+    """Configuration passed by the controller's first ioctl.
+
+    ``events`` entries may be catalogue names (``"LLC_MISSES"``) or raw
+    packed select/umask codes (``0x412E``) — the real K-LEB takes hex
+    event codes on its command line, so both spellings are accepted and
+    raw codes are resolved against the event catalogue.
+    """
+
+    events: Sequence[object] = ()
+    period_ns: int = us(100)
+    buffer_capacity: int = 4096
+    count_kernel: bool = False
+
+    def resolved_events(self) -> List[str]:
+        """Event names with raw select/umask codes resolved."""
+        from repro.hw import events as ev
+
+        names: List[str] = []
+        for entry in self.events:
+            if isinstance(entry, str):
+                ev.lookup(entry)  # validates the name
+                names.append(entry)
+            else:
+                names.append(ev.lookup_code(int(entry)).name)
+        return names
+
+    def validate(self) -> None:
+        if not self.events:
+            raise ToolError("K-LEB needs at least one hardware event")
+        if len(self.events) > NUM_PROGRAMMABLE:
+            raise ToolError(
+                f"K-LEB supports at most {NUM_PROGRAMMABLE} programmable "
+                f"events, got {len(self.events)}"
+            )
+        if self.period_ns <= 0:
+            raise ToolError("K-LEB period must be positive")
+        self.resolved_events()  # raises on unknown names or codes
+
+
+@dataclass
+class KLebStats:
+    """Collection statistics exposed by the module."""
+
+    timer_fires: int = 0
+    samples_recorded: int = 0
+    samples_dropped: int = 0
+    pause_episodes: int = 0
+    handler_time_ns: int = 0
+
+
+def _live_descendants(kernel, root_pid: int) -> set:
+    """The root plus every live descendant, by ppid walk."""
+    traced = {root_pid}
+    frontier = [root_pid]
+    while frontier:
+        parent_pid = frontier.pop()
+        parent = kernel.task(parent_pid)
+        for child_pid in parent.children:
+            child = kernel.tasks.get(child_pid)
+            if child is not None and child.alive and child_pid not in traced:
+                traced.add(child_pid)
+                frontier.append(child_pid)
+    return traced
+
+
+class KLebModule(KernelModule):
+    """Kernel-space collection engine (paper Fig. 1, left half)."""
+
+    name = "k_leb"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.config: Optional[KLebModuleConfig] = None
+        self.buffer: Optional[RingBuffer] = None
+        self.timer: Optional[HrTimer] = None
+        self.traced_pids: set = set()
+        self.root_pid: Optional[int] = None
+        self.collecting = False
+        self.stats = KLebStats()
+        self.final_totals: Optional[Dict[str, int]] = None
+        self._probe_handles: List = []
+
+    # ------------------------------------------------------------------
+    # Module lifecycle
+    # ------------------------------------------------------------------
+    def on_load(self, kernel) -> None:
+        self.timer = HrTimer(kernel, self._timer_fire, label="k-leb")
+
+    def on_unload(self) -> None:
+        if self.collecting:
+            self._stop_collection()
+        self.timer = None
+
+    # ------------------------------------------------------------------
+    # ioctl interface (what the controller calls)
+    # ------------------------------------------------------------------
+    def ioctl(self, command: str, argument: object = None) -> object:
+        if command == "config":
+            return self._ioctl_config(argument)
+        if command == "start":
+            return self._ioctl_start(argument)
+        if command == "stop":
+            return self._ioctl_stop()
+        if command == "stats":
+            return self.stats
+        raise ModuleError(f"K-LEB: unknown ioctl {command!r}")
+
+    def _ioctl_config(self, argument: object) -> bool:
+        if not isinstance(argument, KLebModuleConfig):
+            raise ModuleError("K-LEB config ioctl needs a KLebModuleConfig")
+        argument.validate()
+        if self.collecting:
+            raise ModuleError("K-LEB: cannot reconfigure while collecting")
+        # Resource setup: buffer allocation, PMU programming.
+        self.kernel.charge_kernel_time(costs.KLEB_SETUP_NS)
+        self.config = argument
+        self.buffer = RingBuffer(argument.buffer_capacity)
+        pmu = self.kernel.pmu
+        pmu.reset_counters()
+        for index, event in enumerate(argument.resolved_events()):
+            pmu.program_counter(index, event, user=True,
+                                kernel=argument.count_kernel)
+        pmu.enable_fixed(user=True, kernel=argument.count_kernel)
+        pmu.global_disable()
+        return True
+
+    def _ioctl_start(self, argument: object) -> bool:
+        if self.config is None or self.buffer is None:
+            raise ModuleError("K-LEB: start before config")
+        if self.collecting:
+            raise ModuleError("K-LEB: already collecting")
+        pid = int(argument)  # raises on garbage, as the real ioctl would
+        target = self.kernel.task(pid)  # validate the PID exists
+        if not target.alive:
+            raise ModuleError(f"K-LEB: pid {pid} is not alive")
+        self.root_pid = pid
+        # Trace the whole existing process tree (the paper's pid/ppid/
+        # name bookkeeping): children forked before the start ioctl —
+        # e.g. a container already spawned by its shim — are included.
+        self.traced_pids = _live_descendants(self.kernel, pid)
+        self.final_totals = None
+        self.stats = KLebStats()
+        probes = self.kernel.kprobes
+        self._probe_handles = [
+            probes.register(ProbePoint.SCHED_SWITCH_IN, self._switch_in),
+            probes.register(ProbePoint.SCHED_SWITCH_OUT, self._switch_out),
+            probes.register(ProbePoint.PROCESS_FORK, self._fork),
+            probes.register(ProbePoint.PROCESS_EXIT, self._exit),
+        ]
+        self.collecting = True
+        # If the monitored task is already on the CPU, begin right away.
+        current = self.kernel.scheduler.current
+        if current is not None and current.pid in self.traced_pids:
+            self._begin_counting()
+        return True
+
+    def _ioctl_stop(self) -> Dict[str, int]:
+        if not self.collecting:
+            raise ModuleError("K-LEB: not collecting")
+        self._stop_collection()
+        return dict(self.final_totals or {})
+
+    # ------------------------------------------------------------------
+    # Device read (controller drains samples)
+    # ------------------------------------------------------------------
+    def read(self, max_items: Optional[int] = None) -> List[Sample]:
+        if self.buffer is None:
+            raise ModuleError("K-LEB: read before config")
+        batch = self.buffer.drain(max_items)
+        if batch:
+            # copy_to_user of the sample rows.
+            self.kernel.charge_kernel_time(
+                len(batch) * costs.KLEB_DRAIN_COPY_NS_PER_SAMPLE
+            )
+        return batch
+
+    @property
+    def pending_samples(self) -> int:
+        return len(self.buffer) if self.buffer is not None else 0
+
+    # ------------------------------------------------------------------
+    # kprobe handlers: per-PID isolation (paper Fig. 3)
+    # ------------------------------------------------------------------
+    def _switch_in(self, task: Task) -> None:
+        if self.collecting and task.pid in self.traced_pids:
+            self._begin_counting()
+
+    def _switch_out(self, task: Task) -> None:
+        if self.collecting and task.pid in self.traced_pids:
+            self._pause_counting()
+
+    def _fork(self, parent: Task, child: Task) -> None:
+        # Trace the whole process tree: name/pid/ppid bookkeeping.
+        if self.collecting and parent.pid in self.traced_pids:
+            self.traced_pids.add(child.pid)
+
+    def _exit(self, task: Task) -> None:
+        if not self.collecting or task.pid not in self.traced_pids:
+            return
+        if task.pid == self.root_pid:
+            self._stop_collection()
+        else:
+            self.traced_pids.discard(task.pid)
+
+    # ------------------------------------------------------------------
+    # Counting control
+    # ------------------------------------------------------------------
+    def _begin_counting(self) -> None:
+        assert self.config is not None and self.timer is not None
+        self.kernel.pmu.global_enable()
+        self.timer.start(self.config.period_ns)
+
+    def _pause_counting(self) -> None:
+        assert self.timer is not None
+        self.timer.cancel()
+        self.kernel.pmu.global_disable()
+
+    def _stop_collection(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+        self.final_totals = dict(
+            self.kernel.pmu.snapshot(self.kernel.now).by_event
+        )
+        self.kernel.pmu.global_disable()
+        for handle in self._probe_handles:
+            self.kernel.kprobes.unregister(handle)
+        self._probe_handles = []
+        self.collecting = False
+
+    # ------------------------------------------------------------------
+    # HRTimer interrupt handler
+    # ------------------------------------------------------------------
+    def _timer_fire(self, when: int) -> None:
+        if not self.collecting:
+            return
+        self.stats.timer_fires += 1
+        if self.stats.timer_fires == 1:
+            # Lazy one-time work on the first fire: buffer page faults,
+            # module-path cache warmup.
+            self.kernel.charge_kernel_time(costs.KLEB_FIRST_FIRE_NS)
+        self.kernel.charge_kernel_time(costs.KLEB_HANDLER_NS)
+        self.stats.handler_time_ns += costs.KLEB_HANDLER_NS
+        assert self.buffer is not None
+        snapshot = self.kernel.pmu.snapshot(self.kernel.now)
+        sample = Sample(timestamp=self.kernel.now,
+                        values=dict(snapshot.by_event))
+        if self.buffer.push(sample):
+            self.stats.samples_recorded += 1
+        else:
+            # Safety mechanism: buffer full, controller starved —
+            # sample dropped, collection paused until a drain.
+            self.stats.samples_dropped += 1
+        self.stats.pause_episodes = self.buffer.pause_episodes

@@ -1,0 +1,39 @@
+"""Registry of monitoring tools, keyed by their CLI/report names."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.tools.base import MonitoringTool
+from repro.tools.dbi import DbiTool
+from repro.tools.kleb import KLebTool
+from repro.tools.limit import LimitTool
+from repro.tools.null import NullTool
+from repro.tools.papi import PapiTool
+from repro.tools.perf import PerfRecordTool, PerfStatTool
+
+_FACTORIES: Dict[str, Callable[[], MonitoringTool]] = {
+    "none": NullTool,
+    "k-leb": KLebTool,
+    "perf-stat": PerfStatTool,
+    "perf-record": PerfRecordTool,
+    "papi": PapiTool,
+    "limit": LimitTool,
+    "dbi": DbiTool,
+}
+
+
+def create_tool(name: str) -> MonitoringTool:
+    """Instantiate a fresh tool by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown tool {name!r} (known: {known})") from None
+    return factory()
+
+
+def available_tools() -> List[str]:
+    """Registered tool names, baseline first."""
+    return ["none", "k-leb", "perf-stat", "perf-record", "papi", "limit",
+            "dbi"]

@@ -1,0 +1,121 @@
+"""Phase detection over delta series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import (
+    IDLE,
+    count_cycles,
+    detect_phases,
+    dominant_event,
+    merge_short_segments,
+    PhaseSegment,
+)
+from repro.analysis.timeseries import EventSeries
+from repro.errors import ExperimentError
+
+
+def make_series(loads, muls):
+    count = len(loads)
+    return EventSeries(
+        timestamps=np.arange(1, count + 1, dtype=np.int64) * 100,
+        values={
+            "LOADS": np.asarray(loads, dtype=np.float64),
+            "ARITH_MUL": np.asarray(muls, dtype=np.float64),
+        },
+    )
+
+
+class TestDominantEvent:
+    def test_picks_largest_normalized(self):
+        scale = {"LOADS": 100.0, "ARITH_MUL": 10.0}
+        # 8/10 of peak MUL beats 50/100 of peak LOADS.
+        label = dominant_event({"LOADS": 50.0, "ARITH_MUL": 8.0}, scale)
+        assert label == "ARITH_MUL"
+
+    def test_idle_when_all_low(self):
+        scale = {"LOADS": 100.0}
+        assert dominant_event({"LOADS": 2.0}, scale) == IDLE
+
+    def test_zero_scale_ignored(self):
+        assert dominant_event({"LOADS": 5.0}, {"LOADS": 0.0}) == IDLE
+
+
+class TestDetectPhases:
+    def test_two_phase_series(self):
+        loads = [100] * 10 + [5] * 10
+        muls = [1] * 10 + [80] * 10
+        segments = detect_phases(make_series(loads, muls),
+                                 ["LOADS", "ARITH_MUL"], smooth_window=1)
+        labels = [segment.label for segment in segments]
+        assert labels == ["LOADS", "ARITH_MUL"]
+        assert segments[0].start_index == 0
+        assert segments[0].end_index == 10
+
+    def test_idle_prefix_detected(self):
+        loads = [0] * 5 + [100] * 10
+        muls = [0] * 15
+        segments = detect_phases(make_series(loads, muls),
+                                 ["LOADS", "ARITH_MUL"], smooth_window=1)
+        assert segments[0].label == IDLE
+
+    def test_empty_series(self):
+        series = EventSeries(np.array([], dtype=np.int64), {})
+        assert detect_phases(series, []) == []
+
+    def test_missing_event_raises(self):
+        series = make_series([1], [1])
+        with pytest.raises(ExperimentError):
+            detect_phases(series, ["STORES"])
+
+    def test_segment_timestamps(self):
+        segments = detect_phases(make_series([10] * 4, [0] * 4),
+                                 ["LOADS", "ARITH_MUL"], smooth_window=1)
+        assert segments[0].start_ns == 100
+        assert segments[0].end_ns == 400
+
+
+class TestMergeShortSegments:
+    def _segment(self, label, start, end):
+        return PhaseSegment(label, start, end, start * 100, end * 100)
+
+    def test_short_blip_absorbed(self):
+        segments = [
+            self._segment("LOADS", 0, 10),
+            self._segment("ARITH_MUL", 10, 11),   # 1-interval blip
+            self._segment("LOADS", 11, 20),
+        ]
+        merged = merge_short_segments(segments, min_length=3)
+        assert [segment.label for segment in merged] == ["LOADS"]
+        assert merged[0].end_index == 20
+
+    def test_long_segments_kept(self):
+        segments = [
+            self._segment("LOADS", 0, 10),
+            self._segment("ARITH_MUL", 10, 20),
+        ]
+        merged = merge_short_segments(segments, min_length=3)
+        assert [segment.label for segment in merged] == [
+            "LOADS", "ARITH_MUL",
+        ]
+
+    def test_empty(self):
+        assert merge_short_segments([], 3) == []
+
+
+class TestCountCycles:
+    def _segments(self, labels):
+        return [PhaseSegment(label, i, i + 1, i, i + 1)
+                for i, label in enumerate(labels)]
+
+    def test_repeating_pattern_counted(self):
+        labels = ["L", "C", "S"] * 4
+        assert count_cycles(self._segments(labels), ["L", "C", "S"]) == 4
+
+    def test_interrupted_pattern(self):
+        labels = ["L", "C", "S", "X", "L", "C", "S"]
+        assert count_cycles(self._segments(labels), ["L", "C", "S"]) == 2
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ExperimentError):
+            count_cycles([], [])

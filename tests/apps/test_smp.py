@@ -1,0 +1,132 @@
+"""Shared-LLC clusters and parallel co-running."""
+
+import pytest
+
+from repro.apps.smp import SmpCluster, corun_parallel
+from repro.errors import ExperimentError
+from repro.sim.clock import ms, seconds, us
+from repro.workloads.synthetic import (
+    PointerChaseWorkload,
+    StridedMemoryWorkload,
+    UniformComputeWorkload,
+)
+
+
+def service(base=0x1000_0000):
+    return PointerChaseWorkload(6 * 1024 * 1024, 500_000, seed=3,
+                                name="service", address_base=base)
+
+
+def streamer(base=0x8000_0000):
+    return StridedMemoryWorkload(64 * 1024 * 1024, 250_000,
+                                 name="streamer", address_base=base)
+
+
+def compute():
+    return UniformComputeWorkload(3e7, name="compute")
+
+
+class TestClusterBasics:
+    def test_invalid_core_count(self):
+        with pytest.raises(ExperimentError):
+            SmpCluster(cores=0)
+
+    def test_kernels_share_one_llc(self):
+        cluster = SmpCluster(cores=3)
+        llcs = {id(kernel.machine.cache.llc) for kernel in cluster.kernels}
+        assert len(llcs) == 1
+
+    def test_private_levels_are_private(self):
+        cluster = SmpCluster(cores=2)
+        l1_ids = {id(kernel.machine.cache.levels[0])
+                  for kernel in cluster.kernels}
+        assert len(l1_ids) == 2
+
+    def test_unknown_core_rejected(self):
+        cluster = SmpCluster(cores=2)
+        with pytest.raises(ExperimentError):
+            cluster.kernel(5)
+
+    def test_lockstep_skew_bounded(self):
+        cluster = SmpCluster(cores=2)
+        cluster.spawn(0, compute())
+        cluster.spawn(1, compute())
+        cluster.run(deadline_ns=ms(5), window_ns=us(100))
+        assert cluster.max_skew_ns() <= us(100)
+
+    def test_run_until_tasks_exit(self):
+        cluster = SmpCluster(cores=2)
+        a = cluster.spawn(0, compute())
+        b = cluster.spawn(1, compute())
+        cluster.run_until_tasks_exit([a, b], deadline_ns=seconds(5))
+        assert not a.alive and not b.alive
+
+    def test_deadline_violation_raises(self):
+        cluster = SmpCluster(cores=1)
+        task = cluster.spawn(0, UniformComputeWorkload(1e12))
+        with pytest.raises(ExperimentError):
+            cluster.run_until_tasks_exit([task], deadline_ns=ms(1))
+
+
+class TestSharedLlcContention:
+    def test_llc_eviction_crosses_cores(self):
+        """Lines one core brought in can be evicted by another core's
+        traffic — the defining property of a shared LLC."""
+        cluster = SmpCluster(cores=2)
+        cache0 = cluster.kernel(0).machine.cache
+        cache1 = cluster.kernel(1).machine.cache
+        victim_address = 0x1000_0000
+        cache0.access(victim_address)
+        assert cache0.contains(victim_address) is not None
+        # Core 1 streams enough lines to evict core 0's line from the
+        # shared LLC (but not from core 0's private levels).
+        for index in range(300_000):
+            cache1.access_fast(0x8000_0000 + index * 64)
+        assert not cluster.shared_llc.contains(victim_address)
+
+    def test_streamer_slows_cache_resident_service(self):
+        results = corun_parallel([service(), streamer()], seed=1)
+        by_name = {result.name: result for result in results}
+        assert by_name["service"].slowdown > 1.15
+
+    def test_compute_neighbour_is_harmless(self):
+        results = corun_parallel([service(), compute()], seed=1)
+        by_name = {result.name: result for result in results}
+        assert by_name["service"].slowdown == pytest.approx(1.0, abs=0.02)
+
+    def test_streamer_is_insensitive(self):
+        """Compulsory-miss traffic has nothing to lose: the aggressor
+        itself is barely affected."""
+        results = corun_parallel([service(), streamer()], seed=1)
+        by_name = {result.name: result for result in results}
+        assert by_name["streamer"].slowdown == pytest.approx(1.0, abs=0.02)
+
+    def test_corun_needs_two_programs(self):
+        with pytest.raises(ExperimentError):
+            corun_parallel([compute()])
+
+
+class TestPerCoreMonitoring:
+    def test_kleb_on_one_core_of_a_cluster(self):
+        """Per-core K-LEB: monitor the service while an aggressor runs
+        on the other core — the Torres VM-monitoring scenario."""
+        from repro.tools.kleb import KLebTool
+
+        cluster = SmpCluster(cores=2, seed=2)
+        victim = cluster.spawn(0, service(), start=False)
+        aggressor = cluster.spawn(1, streamer())
+        session = KLebTool().attach(cluster.kernel(0), victim,
+                                    ("LLC_REFERENCES", "LLC_MISSES"), ms(1))
+        cluster.run_until_tasks_exit([victim], deadline_ns=seconds(10))
+        report = session.finalize()
+        assert report.sample_count > 0
+        # Contention shows up as LLC misses the solo service never has.
+        solo_cluster = SmpCluster(cores=1, seed=2)
+        solo = solo_cluster.spawn(0, service(), start=False)
+        solo_session = KLebTool().attach(solo_cluster.kernel(0), solo,
+                                         ("LLC_REFERENCES", "LLC_MISSES"),
+                                         ms(1))
+        solo_cluster.run_until_tasks_exit([solo], deadline_ns=seconds(10))
+        solo_report = solo_session.finalize()
+        assert report.totals["LLC_MISSES"] > \
+            1.5 * solo_report.totals["LLC_MISSES"]

@@ -1,0 +1,62 @@
+"""Shared fixtures: small machines, kernels, and workloads.
+
+Tests favour tiny, fast configurations; the full-size paper parameters
+live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.cache import CacheConfig, CacheHierarchy
+from repro.hw.machine import Machine
+from repro.hw.presets import i7_920
+from repro.kernel.config import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.rng import RngStreams
+from repro.workloads.synthetic import UniformComputeWorkload
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh i7-920 machine."""
+    return Machine(i7_920())
+
+
+@pytest.fixture
+def quiet_config() -> KernelConfig:
+    """Kernel config with OS noise and timer jitter disabled — for
+    tests asserting exact timing/counting behaviour."""
+    return KernelConfig(
+        noise_enabled=False,
+        hrtimer_jitter_mean_ns=0,
+        hrtimer_jitter_sd_ns=0,
+        wakeup_latency_mean_ns=0,
+        wakeup_latency_sd_ns=0,
+    )
+
+
+@pytest.fixture
+def kernel(machine, quiet_config) -> Kernel:
+    """A booted, noise-free kernel."""
+    return Kernel(machine, config=quiet_config, rng=RngStreams(0))
+
+
+@pytest.fixture
+def noisy_kernel(machine) -> Kernel:
+    """A kernel with the default (noisy) configuration."""
+    return Kernel(machine, rng=RngStreams(0))
+
+
+@pytest.fixture
+def small_workload() -> UniformComputeWorkload:
+    """~3.7 ms of uniform compute on the i7-920 preset."""
+    return UniformComputeWorkload(1e7)
+
+
+def run_to_exit(kernel: Kernel, task, deadline_s: float = 30.0):
+    """Convenience: run the kernel until ``task`` exits."""
+    from repro.sim.clock import seconds
+
+    kernel.run_until_exit(task, deadline=kernel.now + seconds(deadline_s))
+    return task

@@ -1,0 +1,48 @@
+"""Cross-platform verification experiment (§IV preamble)."""
+
+import pytest
+
+from repro.experiments import crosscheck
+
+
+@pytest.fixture(scope="module")
+def result():
+    return crosscheck.run(n=512, seed=0)
+
+
+class TestCrosscheck:
+    def test_counts_below_one_percent(self, result):
+        assert result.worst_percent < 1.0
+
+    def test_all_compared_events_present(self, result):
+        assert set(result.differences_percent) == set(crosscheck.COMPARED)
+
+    def test_runtime_ratio_tracks_clock_ratio(self, result):
+        # 2.67 GHz vs 2.50 GHz: the AWS run is ~6.8 % slower.
+        ratio = result.aws_wall_ns / result.local_wall_ns
+        assert ratio == pytest.approx(2.67 / 2.50, rel=0.02)
+
+    def test_render_reports_worst_difference(self, result):
+        text = crosscheck.render(result)
+        assert "worst count difference" in text
+        assert "i7-920" in text and "xeon-8259cl" in text
+
+
+class TestLinpackHelpers:
+    def test_measured_gflops_requires_markers(self, kernel):
+        from repro.errors import WorkloadError
+        from repro.workloads.linpack import LinpackWorkload, measured_gflops
+
+        task = kernel.spawn(LinpackWorkload(500), start=False)
+        with pytest.raises(WorkloadError):
+            measured_gflops(task)  # run never happened
+
+    def test_measured_gflops_after_run(self, kernel):
+        from repro.sim.clock import seconds
+        from repro.workloads.linpack import LinpackWorkload, measured_gflops
+
+        task = kernel.spawn(LinpackWorkload(500))
+        kernel.run_until_exit(task, deadline=seconds(10))
+        gflops = measured_gflops(task)
+        # Solve-phase throughput is platform peak-ish regardless of n.
+        assert gflops == pytest.approx(37.2, rel=0.02)

@@ -1,0 +1,249 @@
+"""Smoke tests: every table/figure runs end-to-end at small scale and
+reproduces the paper's qualitative claims."""
+
+import pytest
+
+from repro.analysis.classify import WorkloadClass
+from repro.experiments import (
+    EXPERIMENTS,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+    table3,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table1", "table2", "table3",
+                    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "crosscheck"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_entries_have_descriptions(self):
+        for entry in EXPERIMENTS.values():
+            assert entry.description
+            assert callable(entry.run)
+            assert callable(entry.render)
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1.run(trials=2, seed=0)
+
+
+class TestTable1:
+    def test_baseline_gflops_near_paper(self, table1_result):
+        assert table1_result.gflops["none"] == pytest.approx(37.24, rel=0.02)
+
+    def test_kleb_loss_below_one_percent(self, table1_result):
+        assert 0 < table1_result.loss_percent["k-leb"] < 1.0
+
+    def test_perf_stat_loss_largest(self, table1_result):
+        losses = table1_result.loss_percent
+        assert losses["perf-stat"] > losses["perf-record"]
+        assert losses["perf-stat"] > losses["k-leb"]
+
+    def test_render_contains_rows(self, table1_result):
+        text = table1.render(table1_result)
+        assert "GFlops" in text
+        assert "Performance Loss" in text
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2.run(runs=3, seed=0)
+
+
+class TestTable2:
+    def test_tool_ordering_matches_paper(self, table2_result):
+        stats = table2_result.stats
+        overhead = {name: stat.overhead_mean_percent
+                    for name, stat in stats.items()}
+        assert overhead["k-leb"] < overhead["perf-record"]
+        assert overhead["perf-record"] < overhead["limit"]
+        assert overhead["limit"] < overhead["perf-stat"]
+        assert overhead["limit"] < overhead["papi"]
+
+    def test_kleb_overhead_magnitude(self, table2_result):
+        assert table2_result.stats["k-leb"].overhead_mean_percent < 1.5
+
+    def test_relative_reduction_positive(self, table2_result):
+        assert table2_result.kleb_vs_next_best_percent > 30
+
+    def test_render(self, table2_result):
+        text = table2.render(table2_result)
+        assert "K-LEB vs next-best" in text
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    return table3.run(runs=3, seed=0)
+
+
+class TestTable3:
+    def test_limit_unsupported(self, table3_result):
+        assert not table3_result.runs_data["limit"].supported
+        assert "kernel" in table3_result.runs_data["limit"].unsupported_reason
+
+    def test_papi_explodes_on_short_program(self, table3_result):
+        """Table III's key contrast: PAPI's fixed init cost dominates."""
+        papi = table3_result.stats["papi"].overhead_mean_percent
+        assert papi > 15.0
+
+    def test_kleb_still_cheapest(self, table3_result):
+        stats = table3_result.stats
+        kleb = stats["k-leb"].overhead_mean_percent
+        for name, stat in stats.items():
+            if name != "k-leb":
+                assert kleb < stat.overhead_mean_percent
+
+    def test_render_marks_limit_na(self, table3_result):
+        assert "n/a" in table3.render(table3_result)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(trials=2, seed=0)
+
+    def test_phase_sequence(self, result):
+        labels = result.phase_labels
+        assert labels[0] == "idle"              # kernel-level init
+        assert labels[1] in ("LOADS", "STORES")  # setup LOAD/STORE surge
+        assert "ARITH_MUL" in labels             # compute phases
+
+    def test_solve_cycles_repeat(self, result):
+        from repro.analysis.phases import count_cycles
+
+        cycles = count_cycles(result.segments,
+                              ["LOADS", "ARITH_MUL", "STORES"])
+        assert cycles >= 5  # the paper's repeating pattern
+
+    def test_render(self, result):
+        text = fig4.render(result)
+        assert "ARITH_MUL" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # 8 iterations: enough for tomcat's stream footprint to exceed
+        # the i7's LLC (capacity effects) while staying fast.
+        return fig5.run(images=("python", "mysql", "tomcat"), iterations=8,
+                        seed=0, cross_platform=True)
+
+    def test_classes(self, result):
+        assert result.classes["python"] is WorkloadClass.COMPUTATION_INTENSIVE
+        assert result.classes["mysql"] is WorkloadClass.COMPUTATION_INTENSIVE
+        assert result.classes["tomcat"] is WorkloadClass.MEMORY_INTENSIVE
+
+    def test_cross_platform_ranking_consistent(self, result):
+        platforms = list(result.mpki)
+        assert len(platforms) == 2
+        assert result.ranking(platforms[0]) == result.ranking(platforms[1])
+
+    def test_absolute_values_shift_across_platforms(self, result):
+        """Paper: absolute cache-miss values vary with cache structure
+        while the trend holds.  The tomcat stream footprint exceeds the
+        i7's 8 MB LLC but fits the Xeon's 16 MB, so the small-LLC
+        platform must show more misses."""
+        platforms = list(result.mpki)
+        a = result.mpki["i7-920"]["tomcat"]
+        b = result.mpki["xeon-8259cl"]["tomcat"]
+        assert a > b * 1.005
+
+    def test_render(self, result):
+        assert "tomcat" in fig5.render(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(rounds=2, seed=0)
+
+    def test_mpki_jump(self, result):
+        assert result.clean_mpki == pytest.approx(7.52, rel=0.15)
+        assert result.attack_mpki == pytest.approx(27.53, rel=0.15)
+
+    def test_llc_counts_higher_under_attack(self, result):
+        assert result.attack_means["LLC_MISSES"] > \
+            3 * result.clean_means["LLC_MISSES"]
+        assert result.attack_means["LLC_REFERENCES"] > \
+            3 * result.clean_means["LLC_REFERENCES"]
+
+    def test_attack_produces_more_samples(self, result):
+        assert result.attack_samples_mean > 2 * result.clean_samples_mean
+
+    def test_render(self, result):
+        assert "Meltdown" in fig6.render(result)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(seed=0)
+
+    def test_detector_flags_only_the_attack(self, result):
+        assert result.attack_verdict.anomalous
+        assert not result.clean_verdict.anomalous
+
+    def test_point_of_attack_is_early(self, result):
+        """K-LEB localizes the attack within the run — the capability
+        perf's single sample cannot provide."""
+        assert result.attack_verdict.first_flag_ns < result.attack_wall_ns / 2
+
+    def test_perf_cannot_series_the_clean_run(self, result):
+        assert result.perf_samples_clean <= 1
+        assert len(result.clean_series) > 20
+
+    def test_render(self, result):
+        assert "anomaly detector" in fig7.render(result)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(runs=4, seed=0)
+
+    def test_kleb_tightest_monitored_spread(self, result):
+        monitored = {name: stats.spread
+                     for name, stats in result.boxes.items()
+                     if name != "none"}
+        assert min(monitored, key=monitored.get) == "k-leb"
+
+    def test_medians_ordered_by_overhead(self, result):
+        assert result.boxes["k-leb"].median < \
+            result.boxes["perf-stat"].median
+
+    def test_render(self, result):
+        assert "tightest monitored spread: k-leb" in fig8.render(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run(seed=0)
+
+    def test_worst_deviation_below_paper_bound(self, result):
+        assert result.worst_percent < 0.3
+
+    def test_perf_stat_deviation_tiny(self, result):
+        for event, value in result.matrix["perf-stat"].items():
+            assert value < 0.0008
+
+    def test_perf_record_deviation_bound(self, result):
+        for event, value in result.matrix["perf-record"].items():
+            assert value < 0.15
+
+    def test_all_tools_compared(self, result):
+        assert set(result.matrix) == {"perf-stat", "perf-record", "papi",
+                                      "limit"}
+
+    def test_render(self, result):
+        assert "worst deviation" in fig9.render(result)

@@ -1,0 +1,61 @@
+"""Rendering helpers: tables and sparklines."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    format_count,
+    format_percent,
+    sparkline,
+    text_table,
+)
+
+
+class TestTextTable:
+    def test_alignment(self):
+        text = text_table(["name", "value"], [["a", "1"], ["longer", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # All rows align on the second column.
+        column = lines[0].index("value")
+        assert lines[2][column - 2:].lstrip().startswith("1")
+
+    def test_title_underlined(self):
+        text = text_table(["h"], [["x"]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_short_rows_padded(self):
+        text = text_table(["a", "b"], [["only-a"]])
+        assert "only-a" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == "(empty series)"
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_downsampled_to_width(self):
+        line = sparkline(np.arange(1000), width=50)
+        assert len(line) == 50
+
+    def test_constant_peaks(self):
+        line = sparkline([5.0, 5.0])
+        assert line == "██"
+
+
+class TestFormatting:
+    def test_format_count(self):
+        assert format_count(1234567.0) == "1,234,567"
+
+    def test_format_percent(self):
+        assert format_percent(6.014) == "6.01%"
+        assert format_percent(0.6789, digits=1) == "0.7%"

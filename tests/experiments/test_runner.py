@@ -1,0 +1,72 @@
+"""Experiment runner: seeding, tool wiring, compatibility gates."""
+
+import pytest
+
+from repro.errors import ToolUnsupportedError
+from repro.experiments.runner import run_monitored, run_trials
+from repro.sim.clock import ms
+from repro.tools.limit import LimitTool
+from repro.tools.null import NullTool
+from repro.tools.registry import create_tool
+from repro.workloads.dgemm import MklDgemm
+from repro.workloads.synthetic import UniformComputeWorkload
+
+EVENTS = ("LOADS", "STORES")
+
+
+class TestRunMonitored:
+    def test_same_seed_is_bit_identical(self):
+        program = UniformComputeWorkload(1e7)
+        a = run_monitored(program, create_tool("k-leb"), events=EVENTS,
+                          period_ns=ms(10), seed=11)
+        b = run_monitored(program, create_tool("k-leb"), events=EVENTS,
+                          period_ns=ms(10), seed=11)
+        assert a.wall_ns == b.wall_ns
+        assert a.report.totals == b.report.totals
+        assert [s.timestamp for s in a.report.samples] == \
+            [s.timestamp for s in b.report.samples]
+
+    def test_different_seed_differs(self):
+        # Long enough (~190 ms) that OS-noise arrivals differ by seed.
+        program = UniformComputeWorkload(5e8)
+        a = run_monitored(program, NullTool(), seed=1)
+        b = run_monitored(program, NullTool(), seed=2)
+        assert a.wall_ns != b.wall_ns
+
+    def test_limit_gets_patched_old_kernel(self):
+        program = UniformComputeWorkload(1e7)
+        result = run_monitored(program, LimitTool(), events=EVENTS,
+                               period_ns=ms(10), seed=0)
+        kernel = result.kernel
+        assert "limit" in kernel.patches
+        assert kernel.config.kernel_version == "2.6.32"
+
+    def test_other_tools_get_stock_kernel(self):
+        result = run_monitored(UniformComputeWorkload(1e6),
+                               create_tool("k-leb"), events=EVENTS, seed=0)
+        assert result.kernel.patches == set()
+        assert result.kernel.config.kernel_version == "4.13"
+
+    def test_incompatible_pairing_raises(self):
+        with pytest.raises(ToolUnsupportedError):
+            run_monitored(MklDgemm(128), LimitTool(), events=EVENTS, seed=0)
+
+    def test_victim_counted_from_first_instruction(self):
+        """The stopped-spawn handshake: no warm-up loss."""
+        result = run_monitored(UniformComputeWorkload(123456),
+                               create_tool("k-leb"), events=EVENTS,
+                               period_ns=ms(10), seed=0)
+        assert result.report.totals["INST_RETIRED"] == pytest.approx(
+            123456, abs=1
+        )
+
+
+class TestRunTrials:
+    def test_trial_count(self):
+        results = run_trials(UniformComputeWorkload(1e6), NullTool(), runs=4)
+        assert len(results) == 4
+
+    def test_trials_use_distinct_seeds(self):
+        results = run_trials(UniformComputeWorkload(5e8), NullTool(), runs=3)
+        walls = [result.wall_ns for result in results]
+        assert len(set(walls)) > 1

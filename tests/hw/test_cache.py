@@ -1,0 +1,215 @@
+"""Cache hierarchy: geometry validation, LRU, fills, flush, events."""
+
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.hw.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheLevel,
+    standard_hierarchy,
+)
+
+LINE = 64
+
+
+def tiny_hierarchy():
+    """Two-level hierarchy small enough to force evictions in tests."""
+    return CacheHierarchy(
+        [
+            CacheConfig("L1D", 4 * LINE, ways=2, hit_latency_cycles=4),
+            CacheConfig("LLC", 16 * LINE, ways=4, hit_latency_cycles=30),
+        ],
+        memory_latency_cycles=100,
+    )
+
+
+class TestConfigValidation:
+    def test_valid_config(self):
+        config = CacheConfig("L1D", 32 * 1024, ways=8)
+        assert config.num_sets == 64
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig("bad", 1024, ways=0)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig("bad", 1024, ways=2, line_bytes=48)
+
+    def test_size_not_divisible_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig("bad", 1000, ways=3)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig("bad", 3 * 64 * 2, ways=2)
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheHierarchy([])
+
+
+class TestLevelLru:
+    def test_miss_then_hit(self):
+        level = CacheLevel(CacheConfig("L1D", 4 * LINE, ways=2))
+        assert not level.lookup(0)
+        level.fill(0)
+        assert level.lookup(0)
+
+    def test_lru_eviction_order(self):
+        # 2 sets x 2 ways; addresses 0 and 2*LINE map to set 0.
+        level = CacheLevel(CacheConfig("L1D", 4 * LINE, ways=2))
+        level.fill(0 * LINE)
+        level.fill(2 * LINE)
+        level.fill(4 * LINE)  # evicts LRU (address 0)
+        assert not level.contains(0 * LINE)
+        assert level.contains(2 * LINE)
+        assert level.contains(4 * LINE)
+
+    def test_hit_refreshes_lru(self):
+        level = CacheLevel(CacheConfig("L1D", 4 * LINE, ways=2))
+        level.fill(0 * LINE)
+        level.fill(2 * LINE)
+        level.lookup(0 * LINE)      # 0 becomes MRU
+        level.fill(4 * LINE)        # evicts 2*LINE now
+        assert level.contains(0 * LINE)
+        assert not level.contains(2 * LINE)
+
+    def test_same_line_addresses_share_entry(self):
+        level = CacheLevel(CacheConfig("L1D", 4 * LINE, ways=2))
+        level.fill(0)
+        assert level.contains(63)   # same 64-byte line
+        assert not level.contains(64)
+
+    def test_invalidate(self):
+        level = CacheLevel(CacheConfig("L1D", 4 * LINE, ways=2))
+        level.fill(0)
+        assert level.invalidate(0)
+        assert not level.contains(0)
+        assert not level.invalidate(0)  # second time: not present
+
+    def test_occupancy(self):
+        level = CacheLevel(CacheConfig("L1D", 4 * LINE, ways=2))
+        assert level.occupancy == 0
+        level.fill(0)
+        level.fill(LINE)
+        assert level.occupancy == 2
+        level.flush_all()
+        assert level.occupancy == 0
+
+
+class TestHierarchyAccess:
+    def test_cold_miss_goes_to_memory(self):
+        hierarchy = tiny_hierarchy()
+        result = hierarchy.access(0)
+        assert result.hit_level is None
+        assert result.latency_cycles == 100
+        assert result.events["LLC_MISSES"] == 1.0
+        assert result.events["LLC_REFERENCES"] == 1.0
+
+    def test_second_access_hits_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        result = hierarchy.access(0)
+        assert result.hit_level == "L1D"
+        assert result.latency_cycles == 4
+        assert "LLC_REFERENCES" not in result.events
+
+    def test_l1_evicted_line_hits_llc(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        # Push 0 out of the 2-way L1 set (stride = L1 set span).
+        hierarchy.access(2 * LINE)
+        hierarchy.access(4 * LINE)
+        result = hierarchy.access(0)
+        assert result.hit_level == "LLC"
+        assert result.events["LLC_REFERENCES"] == 1.0
+        assert "LLC_MISSES" not in result.events
+
+    def test_store_event(self):
+        hierarchy = tiny_hierarchy()
+        result = hierarchy.access(0, is_write=True)
+        assert result.events["STORES"] == 1.0
+        assert "LOADS" not in result.events
+
+    def test_l1_miss_event_recorded(self):
+        hierarchy = tiny_hierarchy()
+        result = hierarchy.access(0)
+        assert result.events["L1D_MISSES"] == 1.0
+
+    def test_stats_accumulate(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        hierarchy.access(0)
+        assert hierarchy.stats.accesses == 2
+        assert hierarchy.stats.hits["L1D"] == 1
+        assert hierarchy.stats.misses["memory"] == 1
+
+
+class TestClflush:
+    def test_flush_removes_from_all_levels(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        assert hierarchy.contains(0) == "L1D"
+        hierarchy.clflush(0)
+        assert hierarchy.contains(0) is None
+
+    def test_flush_then_access_misses(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        hierarchy.clflush(0)
+        result = hierarchy.access(0)
+        assert result.hit_level is None
+
+    def test_flush_counts(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.clflush(0)
+        assert hierarchy.stats.flushes == 1
+
+
+class TestAccessFast:
+    def test_fast_path_matches_slow_path_levels(self):
+        slow = tiny_hierarchy()
+        fast = tiny_hierarchy()
+        addresses = [0, LINE, 2 * LINE, 0, 4 * LINE, 0, 8 * LINE, LINE]
+        for address in addresses:
+            slow_result = slow.access(address)
+            fast_index = fast.access_fast(address)
+            slow_index = (
+                [level.config.name for level in slow.levels].index(
+                    slow_result.hit_level
+                )
+                if slow_result.hit_level is not None
+                else len(slow.levels)
+            )
+            assert fast_index == slow_index, f"diverged at {address:#x}"
+
+    def test_fast_path_matches_slow_path_stats(self):
+        slow = tiny_hierarchy()
+        fast = tiny_hierarchy()
+        addresses = [i * LINE for i in range(40)] + [0, LINE, 5 * LINE]
+        for address in addresses:
+            slow.access(address)
+            fast.access_fast(address)
+        assert slow.stats.hits == fast.stats.hits
+        assert slow.stats.misses == fast.stats.misses
+        assert slow.stats.accesses == fast.stats.accesses
+
+
+class TestStandardHierarchy:
+    def test_three_levels(self):
+        hierarchy = standard_hierarchy()
+        assert [level.config.name for level in hierarchy.levels] == [
+            "L1D", "L2", "LLC",
+        ]
+
+    def test_llc_property(self):
+        hierarchy = standard_hierarchy()
+        assert hierarchy.llc.config.name == "LLC"
+
+    def test_flush_all(self):
+        hierarchy = standard_hierarchy()
+        hierarchy.access(0)
+        hierarchy.flush_all()
+        assert hierarchy.contains(0) is None

@@ -1,0 +1,52 @@
+"""Event catalogue integrity."""
+
+import pytest
+
+from repro.errors import PMUError
+from repro.hw import events as ev
+
+
+class TestCatalogue:
+    def test_fixed_events_present(self):
+        for name in ev.FIXED_EVENTS:
+            assert name in ev.EVENT_CATALOGUE
+
+    def test_fixed_event_order(self):
+        # IA32_FIXED_CTR0..2: instructions, core cycles, ref cycles.
+        assert ev.FIXED_EVENTS == ("INST_RETIRED", "CORE_CYCLES", "REF_CYCLES")
+
+    def test_codes_are_unique(self):
+        codes = [event.code for event in ev.EVENT_CATALOGUE.values()]
+        assert len(codes) == len(set(codes))
+
+    def test_code_packs_umask_and_select(self):
+        event = ev.lookup("LLC_MISSES")
+        assert event.code == (event.umask << 8) | event.select
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(PMUError):
+            ev.lookup("NOT_AN_EVENT")
+
+    def test_lookup_code_roundtrip(self):
+        for event in ev.EVENT_CATALOGUE.values():
+            assert ev.lookup_code(event.code) is event
+
+    def test_lookup_code_unknown_raises(self):
+        with pytest.raises(PMUError):
+            ev.lookup_code(0xDEAD)
+
+
+class TestKinds:
+    def test_architectural_events_are_deterministic_set(self):
+        names = ev.architectural_events()
+        assert "LOADS" in names
+        assert "STORES" in names
+        assert "BRANCHES" in names
+        assert "INST_RETIRED" in names
+
+    def test_cache_events_are_microarchitectural(self):
+        for name in ("LLC_MISSES", "LLC_REFERENCES", "BRANCH_MISSES"):
+            assert ev.EVENT_CATALOGUE[name].kind is ev.EventKind.MICROARCHITECTURAL
+
+    def test_architectural_excludes_cache_misses(self):
+        assert "LLC_MISSES" not in ev.architectural_events()

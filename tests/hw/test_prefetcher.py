@@ -1,0 +1,92 @@
+"""Next-line prefetcher behaviour."""
+
+import pytest
+
+from repro.hw.cache import CacheConfig, CacheHierarchy
+
+LINE = 64
+
+
+def hierarchy(prefetch):
+    return CacheHierarchy(
+        [
+            CacheConfig("L1D", 8 * LINE, ways=2, hit_latency_cycles=4),
+            CacheConfig("LLC", 64 * LINE, ways=4, hit_latency_cycles=30),
+        ],
+        memory_latency_cycles=100,
+        prefetch_next_line=prefetch,
+    )
+
+
+class TestPrefetch:
+    def test_sequential_stream_hits_after_first_miss(self):
+        cache = hierarchy(prefetch=True)
+        first = cache.access(0)
+        assert first.hit_level is None       # cold demand miss
+        second = cache.access(LINE)          # prefetched by the miss
+        assert second.hit_level == "L1D"
+
+    def test_disabled_by_default(self):
+        cache = hierarchy(prefetch=False)
+        cache.access(0)
+        result = cache.access(LINE)
+        assert result.hit_level is None
+        assert cache.stats.prefetches == 0
+
+    def test_prefetch_counted_in_stats(self):
+        cache = hierarchy(prefetch=True)
+        cache.access(0)
+        assert cache.stats.prefetches == 1
+
+    def test_cache_hit_does_not_prefetch(self):
+        cache = hierarchy(prefetch=True)
+        cache.access(0)
+        prefetches = cache.stats.prefetches
+        cache.access(0)                      # L1 hit
+        assert cache.stats.prefetches == prefetches
+
+    def test_fast_path_prefetches_too(self):
+        cache = hierarchy(prefetch=True)
+        assert cache.access_fast(0) == 2     # memory
+        assert cache.access_fast(LINE) == 0  # L1 hit via prefetch
+
+    def test_sequential_stream_miss_rate_halves(self):
+        """A unit-stride sweep misses every other line at worst."""
+        with_pf = hierarchy(prefetch=True)
+        without_pf = hierarchy(prefetch=False)
+        for index in range(32):
+            with_pf.access(index * LINE)
+            without_pf.access(index * LINE)
+        assert without_pf.stats.misses["memory"] == 32
+        assert with_pf.stats.misses["memory"] == 16
+
+
+class TestMeltdownProbeSpacing:
+    """Why the PoC (and our attack model) page-spaces its probes."""
+
+    @staticmethod
+    def _reload_misses(stride):
+        from repro.hw.presets import i7_920
+        from repro.hw.machine import Machine, MachineConfig
+        from dataclasses import replace
+
+        config = replace(i7_920(), prefetch_next_line=True)
+        cache = Machine(config).cache
+        base = 0x4000_0000
+        probes = [base + index * stride for index in range(64)]
+        for address in probes:
+            cache.clflush(address)
+        cache.access(probes[33])             # the transient access
+        before = cache.stats.misses.get("memory", 0)
+        for address in probes:
+            cache.access(address)
+        return cache.stats.misses.get("memory", 0) - before
+
+    def test_page_spaced_probes_survive_prefetcher(self):
+        # 63 misses + 1 hit (the leaked byte): full signal.
+        assert self._reload_misses(4096) == 63
+
+    def test_line_spaced_probes_are_destroyed_by_prefetcher(self):
+        """Adjacent probes get prefetched: most reloads 'hit' and the
+        side channel cannot tell the leaked byte apart."""
+        assert self._reload_misses(64) <= 40

@@ -1,0 +1,53 @@
+"""Machine presets and Machine assembly."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.presets import PRESETS, build, i7_920, xeon_8259cl
+
+
+class TestPresets:
+    def test_registry_contains_both_platforms(self):
+        assert set(PRESETS) == {"i7-920", "xeon-8259cl"}
+
+    def test_i7_geometry(self):
+        config = i7_920()
+        assert config.frequency_hz == pytest.approx(2.67e9)
+        names = [level.name for level in config.cache_levels]
+        assert names == ["L1D", "L2", "LLC"]
+        assert config.cache_levels[2].size_bytes == 8 * 1024 * 1024
+
+    def test_xeon_differs_in_cache_structure(self):
+        """The AWS platform has a different cache structure — the basis
+        of the paper's cross-platform consistency check."""
+        local = i7_920()
+        aws = xeon_8259cl()
+        assert aws.cache_levels[1].size_bytes != local.cache_levels[1].size_bytes
+        assert aws.cache_levels[2].size_bytes != local.cache_levels[2].size_bytes
+        assert aws.frequency_hz != local.frequency_hz
+
+    def test_build_by_name(self):
+        machine = build("i7-920")
+        assert isinstance(machine, Machine)
+        assert machine.name == "i7-920"
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build("pentium-iii")
+
+
+class TestMachine:
+    def test_machine_wires_components(self):
+        machine = Machine(i7_920())
+        assert machine.core.pmu is machine.pmu
+        assert machine.core.cache is machine.cache
+        assert machine.pmu.msrs is machine.msrs
+
+    def test_machine_core_frequency(self):
+        machine = Machine(i7_920())
+        assert machine.core.frequency_hz == pytest.approx(2.67e9)
+
+    def test_cache_hierarchy_built_from_config(self):
+        machine = Machine(xeon_8259cl())
+        assert len(machine.cache.levels) == 3
+        assert machine.cache.memory_latency_cycles == 220

@@ -1,0 +1,129 @@
+"""The paper's headline claims, asserted end-to-end in one place.
+
+Each test is one sentence from the abstract/introduction, run against
+the full stack.
+"""
+
+import pytest
+
+from repro.errors import ToolError, ToolUnsupportedError
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms, seconds, us
+from repro.tools.kleb import KLebModule, KLebTool
+from repro.tools.limit import LimitTool
+from repro.tools.papi import PapiTool
+from repro.tools.registry import create_tool
+from repro.workloads.base import ListProgram, RateBlock
+from repro.workloads.synthetic import UniformComputeWorkload
+
+EVENTS = ("LOADS", "STORES")
+
+
+class TestHundredTimesFaster:
+    """'K-LEB can gather periodic data at a 100 us rate, which is 100
+    times faster than other comparable ... approaches.'"""
+
+    def test_period_floors_are_100x_apart(self):
+        kleb = KLebTool().effective_period(1)          # clamps to floor
+        perf = create_tool("perf-stat").effective_period(1)
+        assert perf == 100 * kleb
+
+    def test_sample_density_is_about_100x(self):
+        program = UniformComputeWorkload(3e8)          # ~112 ms victim
+        kleb = run_monitored(program, KLebTool(), events=EVENTS,
+                             period_ns=us(100), seed=0)
+        perf = run_monitored(program, create_tool("perf-stat"),
+                             events=EVENTS, period_ns=us(100), seed=0)
+        ratio = kleb.report.sample_count / max(perf.report.sample_count, 1)
+        assert ratio > 60  # ~100x minus controller-preemption losses
+
+
+class TestNonIntrusive:
+    """'access to the source code is not needed'; 'user programs can be
+    profiled on an already running kernel'."""
+
+    def test_kleb_profiles_a_binary_only_program(self):
+        # No instruction-count metadata — the moral equivalent of a
+        # stripped binary.  Instrumentation tools cannot handle it.
+        binary_only = ListProgram("blob", [RateBlock(instructions=1e6)])
+        result = run_monitored(binary_only, KLebTool(), events=EVENTS,
+                               period_ns=ms(10), seed=0)
+        assert result.report.totals["INST_RETIRED"] == pytest.approx(1e6)
+
+    def test_papi_cannot(self):
+        binary_only = ListProgram("blob", [RateBlock(instructions=1e6)])
+        with pytest.raises(ToolError):
+            run_monitored(binary_only, PapiTool(), events=EVENTS,
+                          period_ns=ms(10), seed=0)
+
+    def test_no_kernel_patch_needed(self):
+        result = run_monitored(UniformComputeWorkload(1e6), KLebTool(),
+                               events=EVENTS, seed=0)
+        assert result.kernel.patches == set()
+        assert LimitTool().required_patches != ()
+
+    def test_module_loads_on_a_running_system(self, noisy_kernel):
+        # The system has been up and doing work before insmod.
+        background = noisy_kernel.spawn(UniformComputeWorkload(5e7))
+        noisy_kernel.run(deadline=ms(5))
+        module = noisy_kernel.load_module(KLebModule())
+        victim = noisy_kernel.spawn(UniformComputeWorkload(1e6),
+                                    start=False)
+        session = KLebTool().attach(noisy_kernel, victim, EVENTS, ms(1))
+        noisy_kernel.run_until_exit(victim,
+                                    deadline=noisy_kernel.now + seconds(5))
+        report = session.finalize()
+        assert report.totals["INST_RETIRED"] == pytest.approx(1e6, rel=0.01)
+
+
+class TestAbstractNumbers:
+    """'reduces the monitoring overhead by at least 58.8%' and 'the
+    difference between the recorded ... readings and those of other
+    tools are less than 0.3%' — single-seed spot checks (full-population
+    versions live in benchmarks/)."""
+
+    def test_overhead_reduction_vs_next_best(self):
+        from repro.workloads.matmul import TripleLoopMatmul
+
+        program = TripleLoopMatmul(512)
+        baseline = run_monitored(program, create_tool("none"), seed=4)
+        kleb = run_monitored(program, KLebTool(), events=EVENTS,
+                             period_ns=ms(10), seed=4)
+        record = run_monitored(program, create_tool("perf-record"),
+                               events=EVENTS, period_ns=ms(10), seed=4)
+        kleb_overhead = kleb.wall_ns - baseline.wall_ns
+        record_overhead = record.wall_ns - baseline.wall_ns
+        reduction = 100.0 * (record_overhead - kleb_overhead) \
+            / record_overhead
+        assert reduction > 40.0
+
+    def test_count_agreement_below_0_3_percent(self):
+        from repro.workloads.matmul import TripleLoopMatmul
+
+        # The paper's ~2 s program, averaged over a few runs (its
+        # numbers are averages too): perf record's lost tail — a
+        # uniform draw of up to one 10 ms period — amortizes below
+        # 0.3 % in expectation.
+        program = TripleLoopMatmul(1024)
+        seeds = (4, 5, 6)
+        deviations = {}
+        for name in ("perf-stat", "perf-record", "papi"):
+            per_event = {event: 0.0 for event in EVENTS}
+            for seed in seeds:
+                reference = run_monitored(
+                    program, create_tool("k-leb"), events=EVENTS,
+                    period_ns=ms(10), seed=seed,
+                ).report.totals
+                totals = run_monitored(
+                    program, create_tool(name), events=EVENTS,
+                    period_ns=ms(10), seed=seed,
+                ).report.totals
+                for event in EVENTS:
+                    per_event[event] += (
+                        abs(totals[event] - reference[event])
+                        / reference[event] * 100.0
+                    ) / len(seeds)
+            deviations[name] = per_event
+        for name, per_event in deviations.items():
+            for event, deviation in per_event.items():
+                assert deviation < 0.3, (name, event, deviation)

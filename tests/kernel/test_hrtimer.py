@@ -1,0 +1,114 @@
+"""HRTimer: periodicity, jitter-free grid, cancellation, floor."""
+
+import pytest
+
+from repro.errors import TimerError
+from repro.hw.machine import Machine
+from repro.hw.presets import i7_920
+from repro.kernel.config import KernelConfig
+from repro.kernel.hrtimer import HrTimer
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import ms, us
+from repro.sim.rng import RngStreams
+
+
+def quiet_kernel(jitter_sd=0, jitter_mean=0):
+    config = KernelConfig(
+        noise_enabled=False,
+        hrtimer_jitter_mean_ns=jitter_mean,
+        hrtimer_jitter_sd_ns=jitter_sd,
+    )
+    return Kernel(Machine(i7_920()), config=config, rng=RngStreams(0))
+
+
+class TestFiring:
+    def test_fires_on_exact_grid_without_jitter(self):
+        kernel = quiet_kernel()
+        fires = []
+        timer = HrTimer(kernel, fires.append, label="t")
+        timer.start(us(100))
+        kernel.run(deadline=us(1000))
+        assert len(fires) == 10
+        assert fires == [us(100) * index for index in range(1, 11)]
+
+    def test_not_armed_until_started(self):
+        kernel = quiet_kernel()
+        timer = HrTimer(kernel, lambda when: None)
+        assert not timer.active
+
+    def test_cancel_stops_firing(self):
+        kernel = quiet_kernel()
+        fires = []
+        timer = HrTimer(kernel, fires.append)
+        timer.start(us(100))
+        kernel.run(deadline=us(250))
+        timer.cancel()
+        kernel.run(deadline=us(1000))
+        assert len(fires) == 2
+        assert not timer.active
+
+    def test_cancel_idempotent(self):
+        kernel = quiet_kernel()
+        timer = HrTimer(kernel, lambda when: None)
+        timer.start(us(100))
+        timer.cancel()
+        timer.cancel()
+
+    def test_restart_resets_grid(self):
+        kernel = quiet_kernel()
+        fires = []
+        timer = HrTimer(kernel, fires.append)
+        timer.start(us(100))
+        kernel.run(deadline=us(150))
+        timer.start(us(200))  # re-arm with a new period
+        kernel.run(deadline=us(1000))
+        assert fires[0] == us(100)
+        assert fires[1] == us(150) + us(200)
+
+    def test_fire_counter(self):
+        kernel = quiet_kernel()
+        timer = HrTimer(kernel, lambda when: None)
+        timer.start(us(100))
+        kernel.run(deadline=us(500))
+        assert timer.fires == 5
+
+
+class TestFloorAndJitter:
+    def test_below_floor_rejected(self):
+        kernel = quiet_kernel()
+        timer = HrTimer(kernel, lambda when: None)
+        with pytest.raises(TimerError):
+            timer.start(us(5))  # floor is 10 us
+
+    def test_100us_rate_allowed(self):
+        """The paper's headline rate must be accepted."""
+        kernel = quiet_kernel()
+        timer = HrTimer(kernel, lambda when: None)
+        timer.start(us(100))
+        assert timer.active
+
+    def test_jitter_delays_but_does_not_drift(self):
+        """Jitter is per-fire; the ideal grid must not accumulate error."""
+        kernel = quiet_kernel(jitter_sd=500, jitter_mean=400)
+        fires = []
+        timer = HrTimer(kernel, fires.append)
+        timer.start(us(100))
+        kernel.run(deadline=ms(10))
+        assert len(fires) >= 95
+        offsets = [fire - us(100) * (index + 1)
+                   for index, fire in enumerate(fires)]
+        # Every fire is late by at most a few jitter draws, never early,
+        # and lateness does not grow with the fire index.
+        assert all(offset >= 0 for offset in offsets)
+        assert max(offsets) < us(5)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def collect():
+            kernel = quiet_kernel(jitter_sd=300, jitter_mean=200)
+            fires = []
+            timer = HrTimer(kernel, fires.append, label="same")
+            timer.start(us(100))
+            kernel.run(deadline=ms(1))
+            return fires
+
+        assert collect() == collect()

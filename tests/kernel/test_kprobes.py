@@ -1,0 +1,69 @@
+"""Kprobe registry: registration, firing, unregistration."""
+
+from repro.kernel.kprobes import KprobeManager, ProbePoint
+
+
+class TestKprobes:
+    def test_fire_invokes_handler_with_args(self):
+        probes = KprobeManager()
+        seen = []
+        probes.register(ProbePoint.PROCESS_FORK,
+                        lambda parent, child: seen.append((parent, child)))
+        fired = probes.fire(ProbePoint.PROCESS_FORK, "p", "c")
+        assert fired == 1
+        assert seen == [("p", "c")]
+
+    def test_fire_with_no_handlers(self):
+        probes = KprobeManager()
+        assert probes.fire(ProbePoint.SCHED_SWITCH_IN, None) == 0
+
+    def test_multiple_handlers_fire_in_order(self):
+        probes = KprobeManager()
+        order = []
+        probes.register(ProbePoint.PROCESS_EXIT, lambda t: order.append("a"))
+        probes.register(ProbePoint.PROCESS_EXIT, lambda t: order.append("b"))
+        probes.fire(ProbePoint.PROCESS_EXIT, None)
+        assert order == ["a", "b"]
+
+    def test_unregister_stops_firing(self):
+        probes = KprobeManager()
+        seen = []
+        handle = probes.register(ProbePoint.SCHED_SWITCH_OUT, seen.append)
+        probes.unregister(handle)
+        probes.fire(ProbePoint.SCHED_SWITCH_OUT, "task")
+        assert seen == []
+        assert not handle.active
+
+    def test_unregister_is_idempotent(self):
+        probes = KprobeManager()
+        handle = probes.register(ProbePoint.SCHED_SWITCH_IN, lambda t: None)
+        probes.unregister(handle)
+        probes.unregister(handle)
+        assert probes.count(ProbePoint.SCHED_SWITCH_IN) == 0
+
+    def test_handlers_are_per_point(self):
+        probes = KprobeManager()
+        seen = []
+        probes.register(ProbePoint.SCHED_SWITCH_IN, seen.append)
+        probes.fire(ProbePoint.SCHED_SWITCH_OUT, "x")
+        assert seen == []
+
+    def test_unregister_during_fire_is_safe(self):
+        probes = KprobeManager()
+        seen = []
+        handles = {}
+
+        def self_removing(task):
+            seen.append(task)
+            probes.unregister(handles["h"])
+
+        handles["h"] = probes.register(ProbePoint.PROCESS_EXIT, self_removing)
+        probes.fire(ProbePoint.PROCESS_EXIT, "t1")
+        probes.fire(ProbePoint.PROCESS_EXIT, "t2")
+        assert seen == ["t1"]
+
+    def test_count(self):
+        probes = KprobeManager()
+        probes.register(ProbePoint.PROCESS_FORK, lambda p, c: None)
+        probes.register(ProbePoint.PROCESS_FORK, lambda p, c: None)
+        assert probes.count(ProbePoint.PROCESS_FORK) == 2

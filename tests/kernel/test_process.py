@@ -1,0 +1,68 @@
+"""Task lifecycle and state machine."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.kernel.process import Task, TaskState
+from repro.workloads.base import ListProgram, RateBlock
+
+
+def make_task(pid=1000):
+    return Task(pid=pid, name="t", program=ListProgram("p", [
+        RateBlock(instructions=10)
+    ]))
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        task = make_task()
+        assert task.state is TaskState.RUNNABLE
+        assert task.alive
+
+    def test_legal_transitions(self):
+        task = make_task()
+        task.set_state(TaskState.RUNNING)
+        task.set_state(TaskState.SLEEPING)
+        task.set_state(TaskState.RUNNABLE)
+        task.set_state(TaskState.RUNNING)
+        task.set_state(TaskState.EXITED)
+        assert not task.alive
+
+    def test_same_state_is_noop(self):
+        task = make_task()
+        task.set_state(TaskState.RUNNABLE)
+        assert task.state is TaskState.RUNNABLE
+
+    def test_illegal_transition_rejected(self):
+        task = make_task()
+        with pytest.raises(ProcessError):
+            task.set_state(TaskState.SLEEPING)  # runnable -> sleeping
+
+    def test_exited_is_terminal(self):
+        task = make_task()
+        task.set_state(TaskState.RUNNING)
+        task.set_state(TaskState.EXITED)
+        with pytest.raises(ProcessError):
+            task.set_state(TaskState.RUNNABLE)
+
+
+class TestAccounting:
+    def test_wall_time_none_while_alive(self):
+        task = make_task()
+        assert task.wall_time_ns is None
+
+    def test_wall_time_after_exit(self):
+        task = make_task()
+        task.start_time = 100
+        task.exit_time = 350
+        assert task.wall_time_ns == 250
+
+    def test_children_listing(self):
+        task = make_task()
+        task.children.append(1001)
+        assert task.children == [1001]
+
+    def test_scratch_is_per_task(self):
+        a, b = make_task(1), make_task(2)
+        a.scratch["k"] = 1
+        assert "k" not in b.scratch

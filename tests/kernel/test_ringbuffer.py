@@ -1,0 +1,90 @@
+"""Ring buffer: FIFO order, capacity, back-pressure (paper §III)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.ringbuffer import RingBuffer
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(KernelError):
+            RingBuffer(0)
+
+    def test_invalid_resume_threshold(self):
+        with pytest.raises(KernelError):
+            RingBuffer(4, resume_threshold=4)
+
+    def test_push_drain_fifo(self):
+        buffer = RingBuffer(8)
+        for value in range(5):
+            assert buffer.push(value)
+        assert buffer.drain() == [0, 1, 2, 3, 4]
+        assert len(buffer) == 0
+
+    def test_drain_max_items(self):
+        buffer = RingBuffer(8)
+        for value in range(5):
+            buffer.push(value)
+        assert buffer.drain(2) == [0, 1]
+        assert buffer.drain(10) == [2, 3, 4]
+
+    def test_free_space(self):
+        buffer = RingBuffer(4)
+        buffer.push(1)
+        assert buffer.free_space == 3
+
+    def test_total_pushed_counts_accepted_only(self):
+        buffer = RingBuffer(2)
+        buffer.push(1)
+        buffer.push(2)
+        buffer.push(3)  # refused
+        assert buffer.total_pushed == 2
+
+
+class TestBackPressure:
+    def test_fill_pauses_collection(self):
+        buffer = RingBuffer(2)
+        assert buffer.push(1)
+        assert buffer.push(2)
+        assert buffer.paused          # hit capacity
+        assert not buffer.push(3)     # refused while paused
+        assert buffer.dropped == 1
+
+    def test_pause_episode_counted_once_per_fill(self):
+        buffer = RingBuffer(2)
+        buffer.push(1)
+        buffer.push(2)
+        buffer.push(3)
+        buffer.push(4)
+        assert buffer.pause_episodes == 1
+
+    def test_drain_below_threshold_resumes(self):
+        buffer = RingBuffer(4, resume_threshold=1)
+        for value in range(4):
+            buffer.push(value)
+        assert buffer.paused
+        buffer.drain(2)               # occupancy 2 > threshold 1
+        assert buffer.paused
+        buffer.drain(1)               # occupancy 1 == threshold
+        assert not buffer.paused
+        assert buffer.push(99)
+
+    def test_collection_resumes_automatically_after_drain(self):
+        """Paper: 'When the controller process finally extracts the data
+        and clears the buffer, K-LEB will continue collecting.'"""
+        buffer = RingBuffer(2, resume_threshold=0)
+        buffer.push(1)
+        buffer.push(2)
+        assert not buffer.push(3)
+        buffer.drain()
+        assert buffer.push(4)
+        assert buffer.drain() == [4]
+
+    def test_clear_resets_pause(self):
+        buffer = RingBuffer(2)
+        buffer.push(1)
+        buffer.push(2)
+        buffer.clear()
+        assert not buffer.paused
+        assert len(buffer) == 0

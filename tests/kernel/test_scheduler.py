@@ -1,0 +1,149 @@
+"""Scheduler: run-queue rotation, quantum, kprobe firing."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.kernel.kprobes import KprobeManager, ProbePoint
+from repro.kernel.process import Task, TaskState
+from repro.kernel.scheduler import Scheduler
+from repro.workloads.base import ListProgram, RateBlock
+
+
+def make_task(pid):
+    return Task(pid=pid, name=f"t{pid}",
+                program=ListProgram("p", [RateBlock(instructions=10)]))
+
+
+@pytest.fixture
+def probes():
+    return KprobeManager()
+
+
+@pytest.fixture
+def scheduler(probes):
+    return Scheduler(quantum_ns=4_000_000, kprobes=probes)
+
+
+class TestDispatch:
+    def test_pick_next_empty(self, scheduler):
+        assert scheduler.pick_next(0) is None
+
+    def test_pick_next_dispatches_fifo(self, scheduler):
+        a, b = make_task(1), make_task(2)
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        assert scheduler.pick_next(0) is a
+        assert scheduler.current is a
+        assert a.state is TaskState.RUNNING
+
+    def test_pick_next_with_current_rejected(self, scheduler):
+        scheduler.enqueue(make_task(1))
+        scheduler.pick_next(0)
+        with pytest.raises(SchedulerError):
+            scheduler.pick_next(0)
+
+    def test_enqueue_requires_runnable(self, scheduler):
+        task = make_task(1)
+        task.state = TaskState.SLEEPING
+        with pytest.raises(SchedulerError):
+            scheduler.enqueue(task)
+
+    def test_double_enqueue_rejected(self, scheduler):
+        task = make_task(1)
+        scheduler.enqueue(task)
+        with pytest.raises(SchedulerError):
+            scheduler.enqueue(task)
+
+    def test_switch_in_probe_fires(self, scheduler, probes):
+        seen = []
+        probes.register(ProbePoint.SCHED_SWITCH_IN, seen.append)
+        task = make_task(1)
+        scheduler.enqueue(task)
+        scheduler.pick_next(0)
+        assert seen == [task]
+
+
+class TestQuantum:
+    def test_quantum_expiry(self, scheduler):
+        scheduler.enqueue(make_task(1))
+        scheduler.pick_next(1000)
+        assert scheduler.quantum_expiry() == 1000 + 4_000_000
+
+    def test_quantum_expiry_without_current(self, scheduler):
+        with pytest.raises(SchedulerError):
+            scheduler.quantum_expiry()
+
+    def test_should_preempt_needs_waiters(self, scheduler):
+        scheduler.enqueue(make_task(1))
+        scheduler.pick_next(0)
+        assert not scheduler.should_preempt(10_000_000)  # alone on CPU
+
+    def test_should_preempt_with_waiters_after_quantum(self, scheduler):
+        a, b = make_task(1), make_task(2)
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        scheduler.pick_next(0)
+        assert not scheduler.should_preempt(1_000_000)
+        assert scheduler.should_preempt(4_000_000)
+
+    def test_refresh_slice(self, scheduler):
+        scheduler.enqueue(make_task(1))
+        scheduler.pick_next(0)
+        scheduler.refresh_slice(9_000_000)
+        assert scheduler.quantum_expiry() == 13_000_000
+
+    def test_invalid_quantum(self, probes):
+        with pytest.raises(SchedulerError):
+            Scheduler(quantum_ns=0, kprobes=probes)
+
+
+class TestDeschedule:
+    def test_preemption_requeues_at_tail(self, scheduler):
+        a, b = make_task(1), make_task(2)
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        scheduler.pick_next(0)
+        scheduler.deschedule_current(TaskState.RUNNABLE)
+        assert scheduler.pick_next(0) is b
+        scheduler.deschedule_current(TaskState.RUNNABLE)
+        assert scheduler.pick_next(0) is a
+
+    def test_sleep_does_not_requeue(self, scheduler):
+        task = make_task(1)
+        scheduler.enqueue(task)
+        scheduler.pick_next(0)
+        scheduler.deschedule_current(TaskState.SLEEPING)
+        assert scheduler.pick_next(0) is None
+        assert task.state is TaskState.SLEEPING
+
+    def test_switch_out_probe_fires(self, scheduler, probes):
+        seen = []
+        probes.register(ProbePoint.SCHED_SWITCH_OUT, seen.append)
+        task = make_task(1)
+        scheduler.enqueue(task)
+        scheduler.pick_next(0)
+        scheduler.deschedule_current(TaskState.RUNNABLE)
+        assert seen == [task]
+
+    def test_deschedule_without_current(self, scheduler):
+        with pytest.raises(SchedulerError):
+            scheduler.deschedule_current(TaskState.RUNNABLE)
+
+    def test_context_switch_counter(self, scheduler):
+        a, b = make_task(1), make_task(2)
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        scheduler.pick_next(0)
+        scheduler.deschedule_current(TaskState.RUNNABLE)
+        scheduler.pick_next(0)
+        assert scheduler.context_switches == 2
+
+    def test_remove_queued_task(self, scheduler):
+        a, b = make_task(1), make_task(2)
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        scheduler.remove(a)
+        assert scheduler.pick_next(0) is b
+
+    def test_remove_missing_task_is_noop(self, scheduler):
+        scheduler.remove(make_task(9))  # must not raise

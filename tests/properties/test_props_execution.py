@@ -1,0 +1,98 @@
+"""Property-based tests: execution conservation under arbitrary slicing.
+
+The central correctness property of the whole reproduction: *how* a
+program is sliced by preemption must not change *what* it executes —
+total instructions, events, and CPU time are conserved.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cache import CacheConfig, CacheHierarchy
+from repro.hw.core import Core, ExecStop
+from repro.hw.pmu import Pmu, RDPMC_FIXED_FLAG
+from repro.workloads.base import BlockCursor, ListProgram, MemOp, RateBlock, TraceBlock
+
+LINE = 64
+
+
+def make_core():
+    pmu = Pmu()
+    pmu.program_counter(0, "LOADS", user=True, kernel=True)
+    pmu.program_counter(1, "LLC_MISSES", user=True, kernel=True)
+    pmu.enable_fixed(user=True, kernel=True)
+    pmu.global_enable()
+    cache = CacheHierarchy(
+        [CacheConfig("L1D", 4 * LINE, ways=2, hit_latency_cycles=4)],
+        memory_latency_cycles=100,
+    )
+    return Core(frequency_hz=1e9, pmu=pmu, cache=cache)
+
+
+def run_sliced(program, budgets):
+    """Execute a program with the given slice budgets (then to the end);
+    returns (instructions, loads, inst_retired, consumed_ns)."""
+    core = make_core()
+    cursor = BlockCursor(program)
+    instructions = 0.0
+    consumed = 0
+    for budget in budgets:
+        result = core.execute(cursor, budget)
+        instructions += result.instructions
+        consumed += result.consumed_ns
+        if result.stop is ExecStop.PROGRAM_DONE:
+            break
+    else:
+        while True:
+            result = core.execute(cursor, 10_000_000)
+            instructions += result.instructions
+            consumed += result.consumed_ns
+            if result.stop is ExecStop.PROGRAM_DONE:
+                break
+    return (
+        instructions,
+        core.pmu.rdpmc(0),
+        core.pmu.rdpmc(RDPMC_FIXED_FLAG | 0),
+        consumed,
+    )
+
+
+rate_blocks = st.builds(
+    RateBlock,
+    instructions=st.floats(min_value=1, max_value=5e4),
+    rates=st.fixed_dictionaries({"LOADS": st.floats(min_value=0, max_value=2)}),
+    cpi=st.floats(min_value=0.3, max_value=3.0),
+)
+trace_blocks = st.builds(
+    lambda addresses, ipo: TraceBlock(
+        ops=[MemOp(address * LINE) for address in addresses],
+        instructions_per_op=ipo,
+    ),
+    addresses=st.lists(st.integers(0, 32), min_size=1, max_size=30),
+    ipo=st.floats(min_value=0, max_value=10),
+)
+programs = st.lists(st.one_of(rate_blocks, trace_blocks),
+                    min_size=1, max_size=6).map(
+    lambda blocks: ListProgram("prop", blocks)
+)
+budget_lists = st.lists(st.integers(min_value=50, max_value=20_000),
+                        max_size=20)
+
+
+class TestSlicingConservation:
+    @given(programs, budget_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_slicing_conserves_instructions_and_events(self, program,
+                                                       budgets):
+        whole = run_sliced(program, [])
+        sliced = run_sliced(program, budgets)
+        assert sliced[0] == pytest.approx(whole[0], rel=1e-9, abs=1e-6)
+        assert sliced[1] == whole[1]                     # LOADS (integer)
+        assert abs(sliced[2] - whole[2]) <= 1            # INST floor
+        # Time may differ by per-slice rounding only (<=1 ns per slice).
+        assert abs(sliced[3] - whole[3]) <= len(budgets) + 1
+
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_runs_identical(self, program):
+        assert run_sliced(program, []) == run_sliced(program, [])

@@ -1,0 +1,76 @@
+"""Property-based tests for the kernel ring buffer."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.kernel.ringbuffer import RingBuffer
+
+
+class TestSequences:
+    @given(st.lists(st.integers(), max_size=300),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_drained_items_preserve_push_order(self, items, capacity):
+        buffer = RingBuffer(capacity)
+        accepted = [item for item in items if buffer.push(item)]
+        drained = buffer.drain()
+        assert drained == accepted[:len(drained)]
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_balances(self, capacity, pushes):
+        buffer = RingBuffer(capacity)
+        for value in range(pushes):
+            buffer.push(value)
+        assert buffer.total_pushed + buffer.dropped == pushes
+        assert len(buffer) == buffer.total_pushed  # nothing drained yet
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_full_drain_always_resumes(self, capacity):
+        buffer = RingBuffer(capacity)
+        for value in range(capacity + 10):
+            buffer.push(value)
+        assert buffer.paused
+        buffer.drain()
+        assert not buffer.paused
+        assert buffer.push(1)
+
+
+class RingBufferMachine(RuleBasedStateMachine):
+    """Stateful model check: the buffer vs a plain list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = RingBuffer(8, resume_threshold=4)
+        self.model = []
+
+    @rule(value=st.integers())
+    def push(self, value):
+        accepted = self.buffer.push(value)
+        if accepted:
+            self.model.append(value)
+
+    @rule(count=st.integers(min_value=1, max_value=10))
+    def drain(self, count):
+        drained = self.buffer.drain(count)
+        expected = self.model[:len(drained)]
+        assert drained == expected
+        del self.model[:len(drained)]
+
+    @invariant()
+    def occupancy_matches_model(self):
+        assert len(self.buffer) == len(self.model)
+
+    @invariant()
+    def never_over_capacity(self):
+        assert len(self.buffer) <= self.buffer.capacity
+
+    @invariant()
+    def paused_implies_above_threshold(self):
+        if self.buffer.paused:
+            assert len(self.buffer) > self.buffer.resume_threshold
+
+
+TestRingBufferStateful = RingBufferMachine.TestCase

@@ -1,0 +1,92 @@
+"""Clock semantics: monotonicity, unit helpers, formatting."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import (
+    Clock,
+    NS_PER_MS,
+    NS_PER_SEC,
+    NS_PER_US,
+    format_ns,
+    ms,
+    seconds,
+    us,
+)
+
+
+class TestUnitHelpers:
+    def test_us(self):
+        assert us(1) == 1_000
+        assert us(100) == 100_000
+
+    def test_ms(self):
+        assert ms(10) == 10_000_000
+
+    def test_seconds(self):
+        assert seconds(2) == 2_000_000_000
+
+    def test_fractional_values_round(self):
+        assert us(0.5) == 500
+        assert ms(1.5) == 1_500_000
+
+    def test_constants_consistent(self):
+        assert NS_PER_MS == 1000 * NS_PER_US
+        assert NS_PER_SEC == 1000 * NS_PER_MS
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_custom_start(self):
+        assert Clock(start=500).now == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            Clock(start=-1)
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(100) == 100
+        assert clock.advance(50) == 150
+        assert clock.now == 150
+
+    def test_advance_zero_allowed(self):
+        clock = Clock(start=10)
+        clock.advance(0)
+        assert clock.now == 10
+
+    def test_advance_negative_rejected(self):
+        clock = Clock()
+        with pytest.raises(ClockError):
+            clock.advance(-1)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(1_000)
+        assert clock.now == 1_000
+
+    def test_advance_to_same_instant_allowed(self):
+        clock = Clock(start=42)
+        clock.advance_to(42)
+        assert clock.now == 42
+
+    def test_advance_to_past_rejected(self):
+        clock = Clock(start=100)
+        with pytest.raises(ClockError):
+            clock.advance_to(99)
+
+
+class TestFormatNs:
+    def test_nanoseconds(self):
+        assert format_ns(512) == "512ns"
+
+    def test_microseconds(self):
+        assert format_ns(2_500) == "2.500us"
+
+    def test_milliseconds(self):
+        assert format_ns(2_500_000) == "2.500ms"
+
+    def test_seconds(self):
+        assert format_ns(1_500_000_000) == "1.500s"

@@ -1,0 +1,64 @@
+"""Deterministic RNG streams: reproducibility and independence."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(42).stream("jitter").normal(size=10)
+        b = RngStreams(42).stream("jitter").normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_name_same_object(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("jitter").normal(size=10)
+        b = RngStreams(2).stream("jitter").normal(size=10)
+        assert not np.array_equal(a, b)
+
+
+class TestIndependence:
+    def test_different_names_give_different_draws(self):
+        streams = RngStreams(7)
+        a = streams.stream("alpha").normal(size=10)
+        b = streams.stream("beta").normal(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_new_stream_does_not_perturb_existing(self):
+        """Adding a consumer must not change other consumers' draws."""
+        only = RngStreams(3)
+        first_alone = only.stream("noise").normal(size=5)
+
+        mixed = RngStreams(3)
+        mixed.stream("extra").normal(size=100)  # a new, earlier consumer
+        first_mixed = mixed.stream("noise").normal(size=5)
+        np.testing.assert_array_equal(first_alone, first_mixed)
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = RngStreams(5).fork(9).stream("s").normal(size=4)
+        b = RngStreams(5).fork(9).stream("s").normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fork_differs_from_parent(self):
+        parent = RngStreams(5)
+        child = parent.fork(1)
+        assert not np.array_equal(
+            parent.stream("s").normal(size=4),
+            child.stream("s").normal(size=4),
+        )
+
+    def test_fork_salts_differ(self):
+        parent = RngStreams(5)
+        assert not np.array_equal(
+            parent.fork(1).stream("s").normal(size=4),
+            parent.fork(2).stream("s").normal(size=4),
+        )
+
+    def test_seed_property(self):
+        assert RngStreams(11).seed == 11

@@ -1,0 +1,53 @@
+"""CLI entry points (run via main() with argv injection)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_shows_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("table1", "table2", "table3",
+                              "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            assert experiment_id in out
+
+
+class TestMonitor:
+    def test_monitor_matmul_kleb(self, capsys):
+        code = main(["monitor", "--workload", "matmul", "--tool", "k-leb",
+                     "--period-ms", "10", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k-leb" in out
+        assert "INST_RETIRED" in out
+        assert "samples" in out
+
+    def test_monitor_rejects_unknown_tool(self):
+        with pytest.raises(SystemExit):
+            main(["monitor", "--tool", "vtune"])
+
+    def test_monitor_custom_events(self, capsys):
+        code = main(["monitor", "--workload", "secret-printer",
+                     "--tool", "k-leb", "--period-ms", "0.1",
+                     "--events", "LLC_MISSES,LLC_REFERENCES"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LLC_MISSES" in out
+
+
+class TestRun:
+    def test_run_fig9(self, capsys):
+        assert main(["run", "fig9", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "worst deviation" in out
+
+    def test_run_table1_with_overrides(self, capsys):
+        assert main(["run", "table1", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GFlops" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table99"])

@@ -1,0 +1,40 @@
+"""Exception hierarchy: every family roots in ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_root_in_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_hardware_family(self):
+        for cls in (errors.MSRError, errors.PMUError,
+                    errors.CacheConfigError):
+            assert issubclass(cls, errors.HardwareError)
+
+    def test_kernel_family(self):
+        for cls in (errors.ProcessError, errors.SchedulerError,
+                    errors.ModuleError, errors.SyscallError,
+                    errors.TimerError):
+            assert issubclass(cls, errors.KernelError)
+
+    def test_tool_unsupported_is_tool_error(self):
+        assert issubclass(errors.ToolUnsupportedError, errors.ToolError)
+
+    def test_sim_family(self):
+        assert issubclass(errors.ClockError, errors.SimulationError)
+
+    def test_catch_all_works(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PMUError("boom")
+
+    def test_report_io_error_roots_in_repro_error(self):
+        from repro.io import ReportIOError
+
+        assert issubclass(ReportIOError, errors.ReproError)

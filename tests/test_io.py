@@ -1,0 +1,102 @@
+"""Report serialization: JSON round-trip and CSV sample logs."""
+
+import pytest
+
+from repro.experiments.runner import run_monitored
+from repro.io import (
+    ReportIOError,
+    load_report_json,
+    load_samples_csv,
+    save_report_json,
+    save_samples_csv,
+)
+from repro.sim.clock import ms
+from repro.tools.base import Sample, ToolReport
+from repro.tools.registry import create_tool
+from repro.workloads.synthetic import UniformComputeWorkload
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = run_monitored(
+        UniformComputeWorkload(5e7), create_tool("k-leb"),
+        events=("LOADS", "STORES"), period_ns=ms(10), seed=0,
+    )
+    return result.report
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report_json(report, path)
+        loaded = load_report_json(path)
+        assert loaded.tool == report.tool
+        assert loaded.events == report.events
+        assert loaded.period_ns == report.period_ns
+        assert loaded.totals == report.totals
+        assert loaded.victim_wall_ns == report.victim_wall_ns
+        assert loaded.metadata == report.metadata
+        assert len(loaded.samples) == len(report.samples)
+        for original, restored in zip(report.samples, loaded.samples):
+            assert restored.timestamp == original.timestamp
+            assert restored.values == original.values
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReportIOError):
+            load_report_json(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json{")
+        with pytest.raises(ReportIOError):
+            load_report_json(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ReportIOError):
+            load_report_json(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"format_version": 1, "tool": "x"}')
+        with pytest.raises(ReportIOError):
+            load_report_json(path)
+
+
+class TestCsvSamples:
+    def test_round_trip(self, report, tmp_path):
+        path = tmp_path / "samples.csv"
+        save_samples_csv(report, path)
+        samples = load_samples_csv(path)
+        assert len(samples) == len(report.samples)
+        assert samples[0].timestamp == report.samples[0].timestamp
+        assert samples[-1].values == {
+            name: int(value)
+            for name, value in report.samples[-1].values.items()
+        }
+
+    def test_header_layout(self, report, tmp_path):
+        path = tmp_path / "samples.csv"
+        save_samples_csv(report, path)
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("timestamp_ns,")
+        assert "LOADS" in header
+
+    def test_empty_report_rejected(self, tmp_path):
+        empty = ToolReport(tool="none", events=[], period_ns=0, samples=[],
+                           totals={}, victim_wall_ns=0, victim_pid=0)
+        with pytest.raises(ReportIOError):
+            save_samples_csv(empty, tmp_path / "x.csv")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(ReportIOError):
+            load_samples_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("timestamp_ns,LOADS\nabc,def\n")
+        with pytest.raises(ReportIOError):
+            load_samples_csv(path)

@@ -1,0 +1,50 @@
+"""K-LEB raw event-code configuration (the real tool's hex interface)."""
+
+import pytest
+
+from repro.errors import PMUError, ToolError
+from repro.hw import events as ev
+from repro.sim.clock import ms, seconds
+from repro.tools.kleb.module import KLebModule, KLebModuleConfig
+from repro.workloads.synthetic import UniformComputeWorkload
+
+
+class TestResolution:
+    def test_names_pass_through(self):
+        config = KLebModuleConfig(events=["LOADS", "STORES"])
+        assert config.resolved_events() == ["LOADS", "STORES"]
+
+    def test_raw_codes_resolve_to_names(self):
+        llc_misses = ev.lookup("LLC_MISSES")
+        config = KLebModuleConfig(events=[llc_misses.code])
+        assert config.resolved_events() == ["LLC_MISSES"]
+
+    def test_mixed_spelling(self):
+        branches = ev.lookup("BRANCHES")
+        config = KLebModuleConfig(events=["LOADS", branches.code])
+        assert config.resolved_events() == ["LOADS", "BRANCHES"]
+
+    def test_unknown_code_rejected(self):
+        config = KLebModuleConfig(events=[0xDEAD])
+        with pytest.raises(PMUError):
+            config.validate()
+
+    def test_unknown_name_rejected(self):
+        config = KLebModuleConfig(events=["MYSTERY_EVENT"])
+        with pytest.raises(PMUError):
+            config.validate()
+
+
+class TestEndToEnd:
+    def test_module_counts_raw_coded_events(self, kernel):
+        module = kernel.load_module(KLebModule())
+        victim = kernel.spawn(UniformComputeWorkload(1e6))
+        llc_misses = ev.lookup("LLC_MISSES")
+        config = KLebModuleConfig(events=[llc_misses.code, "LOADS"],
+                                  period_ns=ms(1))
+        module.ioctl("config", config)
+        module.ioctl("start", victim.pid)
+        kernel.run_until_exit(victim, deadline=seconds(5))
+        totals = module.final_totals
+        assert totals["LLC_MISSES"] == pytest.approx(1e6 * 0.0002, rel=0.01)
+        assert totals["LOADS"] == pytest.approx(1e6 * 0.30, rel=0.01)

@@ -1,0 +1,143 @@
+"""PAPI and LiMiT: instrumentation, gates, compatibility."""
+
+import pytest
+
+from repro.errors import ToolError, ToolUnsupportedError
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms
+from repro.tools.limit import LimitTool
+from repro.tools.papi import PapiTool, instrumentation_interval
+from repro.workloads.dgemm import MklDgemm
+from repro.workloads.matmul import TripleLoopMatmul
+from repro.workloads.synthetic import UniformComputeWorkload
+
+EVENTS = ("LOADS", "STORES", "BRANCHES")
+
+
+@pytest.fixture(scope="module")
+def papi_run():
+    return run_monitored(
+        TripleLoopMatmul(300), PapiTool(), events=EVENTS,
+        period_ns=ms(10), seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def limit_run():
+    return run_monitored(
+        TripleLoopMatmul(300), LimitTool(), events=EVENTS,
+        period_ns=ms(10), seed=7,
+    )
+
+
+class TestInstrumentationInterval:
+    def test_interval_targets_sample_rate(self):
+        program = TripleLoopMatmul(1024)
+        interval = instrumentation_interval(program, ms(10), 2.67e9)
+        expected_points = program.instructions / 2.67e9 / 0.010
+        assert program.instructions / interval == pytest.approx(
+            expected_points, rel=0.01
+        )
+
+    def test_program_without_metadata_rejected(self):
+        from repro.workloads.base import ListProgram, RateBlock
+
+        bare = ListProgram("no-metadata", [RateBlock(instructions=1e6)])
+        with pytest.raises(ToolError):
+            instrumentation_interval(bare, ms(10), 2.67e9)
+
+    def test_cpi_hint_shortens_estimated_runtime(self):
+        fast = instrumentation_interval(MklDgemm(512), ms(10), 2.67e9)
+        # Lower CPI -> shorter runtime -> fewer points -> bigger interval.
+        slow_program = TripleLoopMatmul(512)
+        slow = instrumentation_interval(slow_program, ms(10), 2.67e9)
+        assert fast / MklDgemm(512).instructions > \
+            slow / slow_program.instructions
+
+
+class TestPapi:
+    def test_requires_source_flag(self):
+        assert PapiTool().requires_source
+
+    def test_attach_requires_prepared_program(self, kernel):
+        task = kernel.spawn(TripleLoopMatmul(64), start=False)
+        with pytest.raises(ToolError):
+            PapiTool().attach(kernel, task, EVENTS, ms(10))
+
+    def test_read_points_approximate_timer_samples(self, papi_run):
+        # ~50 ms program at 10 ms -> ~5 points ("approximately the
+        # same" as the paper puts it).
+        points = papi_run.report.metadata["read_points"]
+        assert 3 <= points <= 8
+
+    def test_totals_close_to_truth(self, papi_run):
+        program = TripleLoopMatmul(300)
+        truth = program.instructions
+        measured = papi_run.report.totals["INST_RETIRED"]
+        # PAPI counts its own bookkeeping: small positive deviation.
+        assert measured >= truth
+        assert measured < truth * 1.01
+
+    def test_library_init_not_counted(self, papi_run):
+        """PAPI_start comes after PAPI_library_init, so the init work
+        (millions of instructions) must not appear in the totals."""
+        program = TripleLoopMatmul(300)
+        init_instructions = 15.8e-3 * 2.67e9
+        measured = papi_run.report.totals["INST_RETIRED"]
+        assert measured < program.instructions + init_instructions * 0.1
+
+    def test_samples_recorded_at_points(self, papi_run):
+        assert papi_run.report.sample_count == \
+            papi_run.report.metadata["read_points"]
+
+
+class TestLimit:
+    def test_requires_patch_and_old_kernel(self):
+        tool = LimitTool()
+        assert tool.requires_source
+        assert tool.required_patches == ("limit",)
+        assert tool.kernel_version == "2.6.32"
+
+    def test_runs_on_patched_kernel(self, limit_run):
+        assert limit_run.report.tool == "limit"
+        truth = TripleLoopMatmul(300).instructions
+        assert limit_run.report.totals["INST_RETIRED"] == pytest.approx(
+            truth, rel=0.01
+        )
+
+    def test_unpatched_kernel_rejected(self, kernel):
+        # The fixture kernel has no patches applied.
+        program = LimitTool().prepare_program(TripleLoopMatmul(64),
+                                              EVENTS, ms(10))
+        with pytest.raises(ToolUnsupportedError):
+            LimitTool().check_compatible(kernel, program)
+
+    def test_mkl_on_limit_kernel_rejected(self):
+        """Table III's n/a: Intel MKL needs a newer kernel than the
+        LiMiT patch supports."""
+        with pytest.raises(ToolUnsupportedError):
+            run_monitored(MklDgemm(256), LimitTool(), events=EVENTS,
+                          period_ns=ms(10), seed=0)
+
+    def test_no_syscalls_for_reads(self, limit_run):
+        """LiMiT's defining property: counter reads avoid the kernel.
+        Its only syscalls are the per-point log writes."""
+        kernel = limit_run.kernel
+        points = limit_run.report.metadata["read_points"]
+        assert kernel.syscall_counts["write"] == points
+        assert kernel.syscall_counts["read"] == 0
+
+    def test_cheaper_than_papi(self):
+        base = run_monitored(TripleLoopMatmul(300), _null(),
+                             events=EVENTS, seed=8)
+        papi = run_monitored(TripleLoopMatmul(300), PapiTool(),
+                             events=EVENTS, period_ns=ms(10), seed=8)
+        limit = run_monitored(TripleLoopMatmul(300), LimitTool(),
+                              events=EVENTS, period_ns=ms(10), seed=8)
+        assert limit.wall_ns - base.wall_ns < papi.wall_ns - base.wall_ns
+
+
+def _null():
+    from repro.tools.null import NullTool
+
+    return NullTool()

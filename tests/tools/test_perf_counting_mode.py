@@ -1,0 +1,55 @@
+"""perf stat counting mode (plain ``perf stat``, no -I)."""
+
+import pytest
+
+from repro.experiments.runner import run_monitored
+from repro.sim.clock import ms
+from repro.tools.null import NullTool
+from repro.tools.perf import PerfStatTool
+from repro.workloads.matmul import TripleLoopMatmul
+
+EVENTS = ("LOADS", "STORES", "BRANCHES")
+
+
+@pytest.fixture(scope="module")
+def counting_run():
+    return run_monitored(TripleLoopMatmul(512),
+                         PerfStatTool(interval_mode=False),
+                         events=EVENTS, period_ns=ms(10), seed=0)
+
+
+class TestCountingMode:
+    def test_no_interval_samples(self, counting_run):
+        """Counting mode gathers overall statistics only (paper §II-B:
+        'perf stat gathers overall statistical hardware event counts')."""
+        assert counting_run.report.sample_count == 0
+        assert counting_run.report.metadata["intervals"] == 0
+
+    def test_totals_exact(self, counting_run):
+        program = TripleLoopMatmul(512)
+        assert counting_run.report.totals["INST_RETIRED"] == pytest.approx(
+            program.instructions, rel=1e-9
+        )
+
+    def test_far_cheaper_than_interval_mode(self):
+        program = TripleLoopMatmul(512)
+        baseline = run_monitored(program, NullTool(), seed=2)
+        counting = run_monitored(program, PerfStatTool(interval_mode=False),
+                                 events=EVENTS, period_ns=ms(10), seed=2)
+        interval = run_monitored(program, PerfStatTool(),
+                                 events=EVENTS, period_ns=ms(10), seed=2)
+        counting_overhead = counting.wall_ns - baseline.wall_ns
+        interval_overhead = interval.wall_ns - baseline.wall_ns
+        assert counting_overhead < interval_overhead / 10
+
+    def test_cannot_time_series_short_programs(self):
+        """The limitation K-LEB exists to fix: counting mode gives one
+        number for the whole run — no behaviour over time."""
+        from repro.workloads.meltdown import SecretPrinter
+
+        result = run_monitored(SecretPrinter(secret="ABCDEF"),
+                               PerfStatTool(interval_mode=False),
+                               events=("LLC_MISSES", "LLC_REFERENCES"),
+                               period_ns=ms(10), seed=0)
+        assert result.report.sample_count == 0
+        assert result.report.totals["LLC_MISSES"] > 0

@@ -1,0 +1,93 @@
+"""Sequential-runs profiling (the §VI workaround for limited counters)."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tools.kleb import KLebTool
+from repro.tools.perf import PerfStatTool
+from repro.tools.sequential import merged_report, profile_sequentially
+from repro.sim.clock import ms
+from repro.workloads.synthetic import UniformComputeWorkload
+
+MANY_EVENTS = ("LOADS", "STORES", "BRANCHES", "ARITH_MUL",
+               "LLC_MISSES", "BRANCH_MISSES", "FP_OPS")
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_sequentially(
+        UniformComputeWorkload(5e7), KLebTool, MANY_EVENTS,
+        period_ns=ms(10), seed=0,
+    )
+
+
+class TestGrouping:
+    def test_seven_events_need_two_runs(self, profile):
+        assert profile.run_count == 2
+        assert profile.groups[0] == list(MANY_EVENTS[:4])
+        assert profile.groups[1] == list(MANY_EVENTS[4:])
+
+    def test_duplicate_events_deduplicated(self):
+        result = profile_sequentially(
+            UniformComputeWorkload(1e6), KLebTool,
+            ("LOADS", "LOADS", "STORES"), period_ns=ms(10),
+        )
+        assert result.run_count == 1
+        assert result.events == ["LOADS", "STORES"]
+
+    def test_custom_group_size(self):
+        result = profile_sequentially(
+            UniformComputeWorkload(1e6), KLebTool,
+            ("LOADS", "STORES", "BRANCHES"), group_size=2,
+            period_ns=ms(10),
+        )
+        assert result.run_count == 2
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(ToolError):
+            profile_sequentially(UniformComputeWorkload(1e6), KLebTool, ())
+
+    def test_invalid_group_size_rejected(self):
+        with pytest.raises(ToolError):
+            profile_sequentially(UniformComputeWorkload(1e6), KLebTool,
+                                 ("LOADS",), group_size=9)
+
+
+class TestPrecision:
+    def test_every_event_measured_exactly(self, profile):
+        """Unlike multiplexing, every event count is precise — this is
+        the point of sequential runs."""
+        rates = {"LOADS": 0.30, "STORES": 0.12, "BRANCHES": 0.15,
+                 "ARITH_MUL": 0.05, "LLC_MISSES": 0.0002,
+                 "BRANCH_MISSES": 0.002, "FP_OPS": 0.10}
+        for event, rate in rates.items():
+            assert profile.totals[event] == pytest.approx(
+                5e7 * rate, rel=1e-6
+            ), event
+
+    def test_fixed_counters_present(self, profile):
+        assert profile.totals["INST_RETIRED"] == pytest.approx(5e7, rel=1e-6)
+
+    def test_cost_is_n_full_runs(self, profile):
+        single = profile.runs[0].wall_ns
+        assert profile.total_wall_ns > 1.8 * single
+
+    def test_works_with_perf_stat_too(self):
+        result = profile_sequentially(
+            UniformComputeWorkload(5e7), PerfStatTool,
+            ("LOADS", "STORES", "BRANCHES", "ARITH_MUL", "LLC_MISSES"),
+            period_ns=ms(10), seed=3,
+        )
+        assert result.run_count == 2
+        assert result.totals["LLC_MISSES"] == pytest.approx(
+            5e7 * 0.0002, rel=1e-6
+        )
+
+
+class TestMergedReport:
+    def test_report_packaging(self, profile):
+        report = merged_report(profile, period_ns=ms(10))
+        assert report.tool == "k-leb+sequential"
+        assert report.events == list(MANY_EVENTS)
+        assert report.metadata["sequential_runs"] == 2.0
+        assert report.totals == profile.totals
