@@ -9,11 +9,17 @@ full populations (100 runs / 100 rounds) can be requested with
 
 import pytest
 
+from repro.experiments.parallel import default_jobs
+
 
 def pytest_addoption(parser):
     parser.addoption(
         "--paper-scale", action="store_true", default=False,
         help="use the paper's full run/round populations (slow)",
+    )
+    parser.addoption(
+        "--jobs", type=int, default=None,
+        help="worker processes per trial population (default: all cores)",
     )
 
 
@@ -38,3 +44,11 @@ def rounds(paper_scale):
 def trials(paper_scale):
     """Trial population for the LINPACK study (paper: 10)."""
     return 10 if paper_scale else 5
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    """Worker processes per trial population (results are identical
+    regardless — see repro.experiments.parallel)."""
+    value = request.config.getoption("--jobs")
+    return default_jobs() if value is None else value

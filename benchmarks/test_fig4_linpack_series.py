@@ -13,13 +13,13 @@ from repro.experiments import fig4
 
 
 @pytest.fixture(scope="module")
-def result(trials):
-    return fig4.run(trials=trials, seed=0)
+def result(trials, jobs):
+    return fig4.run(trials=trials, seed=0, jobs=jobs)
 
 
-def test_fig4_regenerate(benchmark, trials):
+def test_fig4_regenerate(benchmark, trials, jobs):
     outcome = benchmark.pedantic(
-        lambda: fig4.run(trials=max(2, trials // 2), seed=1),
+        lambda: fig4.run(trials=max(2, trials // 2), seed=1, jobs=jobs),
         rounds=1, iterations=1,
     )
     print("\n" + fig4.render(outcome))

@@ -10,13 +10,13 @@ from repro.experiments import fig6
 
 
 @pytest.fixture(scope="module")
-def result(rounds):
-    return fig6.run(rounds=rounds, seed=0)
+def result(rounds, jobs):
+    return fig6.run(rounds=rounds, seed=0, jobs=jobs)
 
 
-def test_fig6_regenerate(benchmark, rounds):
+def test_fig6_regenerate(benchmark, rounds, jobs):
     outcome = benchmark.pedantic(
-        lambda: fig6.run(rounds=max(2, rounds // 2), seed=1),
+        lambda: fig6.run(rounds=max(2, rounds // 2), seed=1, jobs=jobs),
         rounds=1, iterations=1,
     )
     print("\n" + fig6.render(outcome))

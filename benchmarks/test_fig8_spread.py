@@ -10,13 +10,13 @@ from repro.experiments import fig8
 
 
 @pytest.fixture(scope="module")
-def result(runs):
-    return fig8.run(runs=runs, seed=0)
+def result(runs, jobs):
+    return fig8.run(runs=runs, seed=0, jobs=jobs)
 
 
-def test_fig8_regenerate(benchmark, runs):
+def test_fig8_regenerate(benchmark, runs, jobs):
     outcome = benchmark.pedantic(
-        lambda: fig8.run(runs=max(4, runs // 3), seed=1),
+        lambda: fig8.run(runs=max(4, runs // 3), seed=1, jobs=jobs),
         rounds=1, iterations=1,
     )
     print("\n" + fig8.render(outcome))

@@ -10,13 +10,13 @@ from repro.experiments import table1
 
 
 @pytest.fixture(scope="module")
-def result(trials):
-    return table1.run(trials=trials, seed=0)
+def result(trials, jobs):
+    return table1.run(trials=trials, seed=0, jobs=jobs)
 
 
-def test_table1_regenerate(benchmark, trials):
+def test_table1_regenerate(benchmark, trials, jobs):
     outcome = benchmark.pedantic(
-        lambda: table1.run(trials=trials, seed=1),
+        lambda: table1.run(trials=trials, seed=1, jobs=jobs),
         rounds=1, iterations=1,
     )
     print("\n" + table1.render(outcome))

@@ -11,13 +11,13 @@ from repro.experiments import table2
 
 
 @pytest.fixture(scope="module")
-def result(runs):
-    return table2.run(runs=runs, seed=0)
+def result(runs, jobs):
+    return table2.run(runs=runs, seed=0, jobs=jobs)
 
 
-def test_table2_regenerate(benchmark, runs):
+def test_table2_regenerate(benchmark, runs, jobs):
     outcome = benchmark.pedantic(
-        lambda: table2.run(runs=max(3, runs // 3), seed=1),
+        lambda: table2.run(runs=max(3, runs // 3), seed=1, jobs=jobs),
         rounds=1, iterations=1,
     )
     print("\n" + table2.render(outcome))

@@ -10,13 +10,13 @@ from repro.experiments import table3
 
 
 @pytest.fixture(scope="module")
-def result(runs):
-    return table3.run(runs=runs, seed=0)
+def result(runs, jobs):
+    return table3.run(runs=runs, seed=0, jobs=jobs)
 
 
-def test_table3_regenerate(benchmark, runs):
+def test_table3_regenerate(benchmark, runs, jobs):
     outcome = benchmark.pedantic(
-        lambda: table3.run(runs=max(3, runs // 3), seed=1),
+        lambda: table3.run(runs=max(3, runs // 3), seed=1, jobs=jobs),
         rounds=1, iterations=1,
     )
     print("\n" + table3.render(outcome))

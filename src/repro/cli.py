@@ -37,6 +37,10 @@ _WORKLOADS = {
     "meltdown": MeltdownAttack,
 }
 
+# Experiments whose trial populations can fan out over worker
+# processes (the rest are single-run comparisons).
+_PARALLEL_EXPERIMENTS = {"table1", "table2", "table3", "fig4", "fig6", "fig8"}
+
 # Small-parameter overrides for `run-all --quick`.
 _QUICK_KWARGS = {
     "table1": {"trials": 3},
@@ -50,6 +54,13 @@ _QUICK_KWARGS = {
     "fig9": {},
     "crosscheck": {},
 }
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,11 +79,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="override run/trial/round count")
     run_parser.add_argument("--period-ms", type=float, default=None,
                             help="override the sample period")
+    run_parser.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
+                            help="worker processes for trial populations "
+                                 "(default: all cores)")
 
     all_parser = sub.add_parser("run-all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true",
                             help="small populations for a fast pass")
     all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
+                            help="worker processes for trial populations "
+                                 "(default: all cores)")
 
     monitor = sub.add_parser("monitor", help="one monitored trial")
     monitor.add_argument("--workload", choices=sorted(_WORKLOADS),
@@ -90,9 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_experiment(experiment_id: str, seed: int,
-                    runs: Optional[int], period_ms: Optional[float]) -> str:
+                    runs: Optional[int], period_ms: Optional[float],
+                    jobs: Optional[int] = None) -> str:
     entry = EXPERIMENTS[experiment_id]
     kwargs = {"seed": seed}
+    if experiment_id in _PARALLEL_EXPERIMENTS:
+        kwargs["jobs"] = jobs  # None = all cores (resolve_jobs)
     if runs is not None:
         key = {"table1": "trials", "fig4": "trials",
                "fig6": "rounds"}.get(experiment_id, "runs")
@@ -116,7 +136,7 @@ def _cmd_list() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     print(_run_experiment(args.experiment, args.seed, args.runs,
-                          args.period_ms))
+                          args.period_ms, jobs=args.jobs))
     return 0
 
 
@@ -124,6 +144,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     for experiment_id, entry in EXPERIMENTS.items():
         kwargs = dict(_QUICK_KWARGS[experiment_id]) if args.quick else {}
         kwargs["seed"] = args.seed
+        if experiment_id in _PARALLEL_EXPERIMENTS:
+            kwargs["jobs"] = args.jobs
         print(entry.render(entry.run(**kwargs)))
         print("\n" + "#" * 72 + "\n")
     return 0

@@ -21,7 +21,14 @@ from repro.experiments import (
     table2,
     table3,
 )
-from repro.experiments.runner import RunResult, run_monitored, run_trials
+from repro.experiments.parallel import default_jobs, resolve_jobs
+from repro.experiments.runner import (
+    RunResult,
+    TrialSummary,
+    run_monitored,
+    run_trials,
+    summarize_trial,
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +91,10 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentEntry",
     "RunResult",
+    "TrialSummary",
+    "default_jobs",
+    "resolve_jobs",
     "run_monitored",
     "run_trials",
+    "summarize_trial",
 ]

@@ -45,12 +45,14 @@ class Fig4Result:
 
 def run(trials: int = 10, problem_size: int = 5000,
         period_ns: int = ms(10), seed: int = 0,
-        machine_config: Optional[MachineConfig] = None) -> Fig4Result:
+        machine_config: Optional[MachineConfig] = None,
+        jobs: Optional[int] = 1) -> Fig4Result:
     """Reproduce Fig. 4."""
     program = LinpackWorkload(problem_size)
     results = run_trials(
         program, create_tool("k-leb"), runs=trials, events=EVENTS,
         period_ns=period_ns, base_seed=seed, machine_config=machine_config,
+        jobs=jobs,
     )
     per_trial = [
         deltas(samples_to_series(result.report.samples))

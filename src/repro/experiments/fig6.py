@@ -39,7 +39,8 @@ class Fig6Result:
 
 
 def run(rounds: int = 20, period_ns: int = us(100), seed: int = 0,
-        machine_config: Optional[MachineConfig] = None) -> Fig6Result:
+        machine_config: Optional[MachineConfig] = None,
+        jobs: Optional[int] = 1) -> Fig6Result:
     """Reproduce Fig. 6.  The paper used 100 rounds; default is 20 for
     turnaround — pass ``rounds=100`` for the full population."""
     populations = {}
@@ -48,7 +49,7 @@ def run(rounds: int = 20, period_ns: int = us(100), seed: int = 0,
         results = run_trials(
             program, create_tool("k-leb"), runs=rounds, events=EVENTS,
             period_ns=period_ns, base_seed=seed,
-            machine_config=machine_config,
+            machine_config=machine_config, jobs=jobs,
         )
         totals = [result.report.totals for result in results]
         means = {

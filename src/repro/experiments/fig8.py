@@ -38,13 +38,14 @@ class Fig8Result:
 
 def run(runs: int = 30, n: int = 1024, period_ns: int = ms(10),
         seed: int = 0,
-        machine_config: Optional[MachineConfig] = None) -> Fig8Result:
+        machine_config: Optional[MachineConfig] = None,
+        jobs: Optional[int] = 1) -> Fig8Result:
     """Reproduce Fig. 8 (same populations as Table II)."""
     program = TripleLoopMatmul(n)
     runs_data = collect_tool_runs(
         program, TOOLS, runs=runs, period_ns=period_ns,
         events=OVERHEAD_EVENTS, base_seed=seed,
-        machine_config=machine_config,
+        machine_config=machine_config, jobs=jobs,
     )
     baseline_mean = float(np.mean(runs_data["none"].wall_ns))
     boxes = {

@@ -32,13 +32,15 @@ def collect_tool_runs(program: Program, tool_names: Sequence[str],
                       runs: int, period_ns: int,
                       events: Sequence[str] = OVERHEAD_EVENTS,
                       base_seed: int = 0,
-                      machine_config: Optional[MachineConfig] = None
-                      ) -> Dict[str, ToolRuns]:
+                      machine_config: Optional[MachineConfig] = None,
+                      jobs: Optional[int] = 1) -> Dict[str, ToolRuns]:
     """Run every tool ``runs`` times over ``program``.
 
     Unsupported pairings (LiMiT on a program needing a modern kernel)
     are recorded with their reason rather than raised — the paper's
-    Table III reports "no data" for exactly that case.
+    Table III reports "no data" for exactly that case.  ``jobs`` fans
+    each tool's trial population out over worker processes; results are
+    identical to the serial path (see :mod:`repro.experiments.parallel`).
     """
     results: Dict[str, ToolRuns] = {}
     for name in tool_names:
@@ -47,7 +49,7 @@ def collect_tool_runs(program: Program, tool_names: Sequence[str],
             trials = run_trials(
                 program, create_tool(name), runs=runs, events=events,
                 period_ns=period_ns, base_seed=base_seed,
-                machine_config=machine_config,
+                machine_config=machine_config, jobs=jobs,
             )
         except ToolUnsupportedError as error:
             record.unsupported_reason = str(error)

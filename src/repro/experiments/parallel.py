@@ -1,0 +1,151 @@
+"""Parallel trial execution: fan independent trials over a worker pool.
+
+Every paper artifact (Tables I–III, Figs 4–9, the ablations) is a
+population of **independent, seeded** trials of
+:func:`repro.experiments.runner.run_monitored` — there is no shared
+state between trials, so they parallelize perfectly.  This module fans
+them out over a ``multiprocessing`` pool while preserving bit-for-bit
+determinism with the serial path:
+
+* trial ``t`` always gets seed ``base_seed + t``, exactly as the serial
+  loop assigns it;
+* summaries come back in trial order regardless of completion order;
+* ``jobs=1`` (and any environment without ``fork``) falls back to the
+  in-process loop, so seed tests stay byte-identical.
+
+The pool uses the ``fork`` start method: workers inherit the trial
+context (program, tool, configs) by copy-on-write instead of pickling
+it, so any program/tool combination the serial path accepts — including
+ones holding closures — works unchanged.  Only the returned
+:class:`~repro.experiments.runner.TrialSummary` objects cross the
+process boundary, and they are plain data by construction.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.hw.machine import MachineConfig
+from repro.kernel.config import KernelConfig
+from repro.tools.base import MonitoringTool
+from repro.workloads.base import Program
+
+logger = logging.getLogger(__name__)
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=None``: one per available core."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int], runs: int) -> int:
+    """Effective worker count: ``None`` means every core; clamp to runs.
+
+    Raises :class:`ExperimentError` for a non-positive explicit count.
+    Pool workers are daemonic and cannot fork grandchildren, so a call
+    from inside a worker resolves to 1 (nested populations run inline).
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1 (or None for all cores), got {jobs}")
+    if multiprocessing.current_process().daemon:
+        return 1
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return 1
+    return min(jobs, max(runs, 1))
+
+
+@dataclass
+class _TrialContext:
+    """Everything a worker needs; inherited via fork, never pickled."""
+
+    program: Program
+    tool: MonitoringTool
+    runs: int
+    events: Sequence[str]
+    period_ns: int
+    base_seed: int
+    machine_config: Optional[MachineConfig]
+    kernel_config: Optional[KernelConfig]
+
+
+# Set in the parent immediately before the pool forks; workers read it.
+_context: Optional[_TrialContext] = None
+
+
+def _run_one(trial: int):
+    """Worker body: one seeded trial, summarized for the trip home."""
+    from repro.experiments.runner import run_monitored, summarize_trial
+
+    ctx = _context
+    assert ctx is not None, "worker forked without a trial context"
+    started = time.perf_counter()
+    result = run_monitored(
+        ctx.program, ctx.tool, events=ctx.events, period_ns=ctx.period_ns,
+        seed=ctx.base_seed + trial, machine_config=ctx.machine_config,
+        kernel_config=ctx.kernel_config,
+    )
+    return summarize_trial(
+        result, trial=trial, seed=ctx.base_seed + trial,
+        host_seconds=time.perf_counter() - started,
+    )
+
+
+def run_trials_parallel(program: Program, tool: MonitoringTool, runs: int,
+                        *, jobs: Optional[int],
+                        events: Sequence[str], period_ns: int,
+                        base_seed: int = 0,
+                        machine_config: Optional[MachineConfig] = None,
+                        kernel_config: Optional[KernelConfig] = None
+                        ) -> List["TrialSummary"]:
+    """Run ``runs`` seeded trials across ``jobs`` worker processes.
+
+    Exceptions raised by a trial (e.g. ``ToolUnsupportedError``)
+    propagate to the caller exactly as in the serial path.
+    """
+    from repro.experiments.runner import TrialSummary, run_trials
+
+    effective = resolve_jobs(jobs, runs)
+    if effective <= 1 or runs <= 1:
+        return run_trials(
+            program, tool, runs, events=events, period_ns=period_ns,
+            base_seed=base_seed, machine_config=machine_config,
+            kernel_config=kernel_config, jobs=1,
+        )
+
+    global _context
+    context = multiprocessing.get_context("fork")
+    _context = _TrialContext(
+        program=program, tool=tool, runs=runs, events=events,
+        period_ns=period_ns, base_seed=base_seed,
+        machine_config=machine_config, kernel_config=kernel_config,
+    )
+    summaries: List[Optional[TrialSummary]] = [None] * runs
+    started = time.perf_counter()
+    done = 0
+    try:
+        with context.Pool(processes=effective) as pool:
+            # chunksize=1 for load balance; order is restored by index.
+            for summary in pool.imap_unordered(_run_one, range(runs),
+                                               chunksize=1):
+                summaries[summary.trial] = summary
+                done += 1
+                logger.info(
+                    "trial %d/%d (#%d, %s under %s) done in %.2fs: "
+                    "sim wall %.4fs, %d samples", done, runs, summary.trial,
+                    summary.program_name, summary.report.tool,
+                    summary.host_seconds, summary.wall_ns / 1e9,
+                    summary.sample_count,
+                )
+    finally:
+        _context = None
+    logger.info("%d trials over %d workers in %.2fs", runs, effective,
+                time.perf_counter() - started)
+    return summaries  # type: ignore[return-value]

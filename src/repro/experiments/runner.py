@@ -7,13 +7,23 @@ Every experiment in the paper reduces to repetitions of this recipe:
 3. spawn the victim **stopped**, attach the tool, let the tool release
    it (perf's enable-on-exec, K-LEB's start ioctl);
 4. run until the victim exits; finalize the session (drain buffers).
+
+:func:`run_monitored` returns a :class:`RunResult` holding the live
+``Kernel``/``Task`` for white-box inspection.  :func:`run_trials`
+returns plain-data :class:`TrialSummary` objects instead — picklable,
+so independent trials can fan out over a worker pool (see
+:mod:`repro.experiments.parallel`) and experiments never reach back
+into a kernel that may have run in another process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+import logging
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
+from repro.errors import KernelError
 from repro.hw.machine import Machine, MachineConfig
 from repro.hw.presets import i7_920
 from repro.kernel.config import KernelConfig
@@ -26,10 +36,16 @@ from repro.workloads.base import Program
 
 DEFAULT_EVENTS = ("LOADS", "STORES", "BRANCHES", "LLC_MISSES")
 
+logger = logging.getLogger(__name__)
+
+# Scratch values carried into a TrialSummary: plain data only, so the
+# summary stays picklable (tools may stash live objects in scratch).
+_PICKLABLE_SCRATCH = (bool, int, float, str, bytes)
+
 
 @dataclass
 class RunResult:
-    """Outcome of one monitored trial."""
+    """Outcome of one monitored trial (live objects, in-process only)."""
 
     report: ToolReport
     victim: Task
@@ -37,12 +53,74 @@ class RunResult:
 
     @property
     def wall_ns(self) -> int:
-        """Victim wall-clock runtime (the overhead metric)."""
-        return self.victim.wall_time_ns or 0
+        """Victim wall-clock runtime (the overhead metric).
+
+        Raises :class:`KernelError` if the victim never exited — a
+        silent 0 here would contribute a zero to overhead means.
+        """
+        wall = self.victim.wall_time_ns
+        if wall is None:
+            raise KernelError(
+                f"victim pid {self.victim.pid} ({self.victim.name!r}) "
+                "has not exited; wall time is undefined"
+            )
+        return wall
 
     @property
     def cpu_ns(self) -> int:
         return self.victim.cpu_time_ns
+
+
+@dataclass
+class TrialSummary:
+    """Plain-data outcome of one trial — everything experiments consume.
+
+    Unlike :class:`RunResult` this carries no live ``Kernel``/``Task``,
+    so it can cross a process boundary and be compared for bit-for-bit
+    equality between the serial and parallel paths (``host_seconds``,
+    which measures the host not the simulation, is excluded from
+    comparisons).
+    """
+
+    trial: int
+    seed: int
+    wall_ns: int
+    cpu_ns: int
+    report: ToolReport
+    program_name: str
+    program_metadata: Dict[str, float] = field(default_factory=dict)
+    scratch: Dict[str, object] = field(default_factory=dict)
+    host_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def sample_count(self) -> int:
+        return self.report.sample_count
+
+    @property
+    def samples_dropped(self) -> float:
+        """Buffer drops reported by the tool (0 for tools without one)."""
+        return self.report.metadata.get("samples_dropped", 0.0)
+
+
+def summarize_trial(result: RunResult, *, trial: int = 0, seed: int = 0,
+                    host_seconds: float = 0.0) -> TrialSummary:
+    """Extract the picklable summary of a finished :class:`RunResult`."""
+    victim = result.victim
+    scratch = {
+        key: value for key, value in victim.scratch.items()
+        if isinstance(value, _PICKLABLE_SCRATCH)
+    }
+    return TrialSummary(
+        trial=trial,
+        seed=seed,
+        wall_ns=result.wall_ns,
+        cpu_ns=result.cpu_ns,
+        report=result.report,
+        program_name=victim.program.name,
+        program_metadata=dict(victim.program.metadata),
+        scratch=scratch,
+        host_seconds=host_seconds,
+    )
 
 
 def run_monitored(program: Program, tool: MonitoringTool,
@@ -78,13 +156,41 @@ def run_trials(program: Program, tool: MonitoringTool,
                period_ns: int = 10_000_000,
                base_seed: int = 0,
                machine_config: Optional[MachineConfig] = None,
-               kernel_config: Optional[KernelConfig] = None) -> List[RunResult]:
-    """Repeat :func:`run_monitored` with per-trial seeds."""
-    return [
-        run_monitored(
+               kernel_config: Optional[KernelConfig] = None,
+               jobs: Optional[int] = 1) -> List[TrialSummary]:
+    """Repeat :func:`run_monitored` with per-trial seeds.
+
+    Trial ``t`` always runs with seed ``base_seed + t``.  With
+    ``jobs=1`` the trials run in-process; ``jobs>1`` fans them out over
+    a worker pool (``jobs=None`` uses every core).  Both paths assign
+    seeds identically and return summaries in trial order, so the
+    results are bit-for-bit identical regardless of ``jobs``.
+    """
+    from repro.experiments.parallel import resolve_jobs, run_trials_parallel
+
+    if resolve_jobs(jobs, runs) > 1:
+        return run_trials_parallel(
+            program, tool, runs, jobs=jobs, events=events,
+            period_ns=period_ns, base_seed=base_seed,
+            machine_config=machine_config, kernel_config=kernel_config,
+        )
+    summaries: List[TrialSummary] = []
+    for trial in range(runs):
+        started = time.perf_counter()
+        result = run_monitored(
             program, tool, events=events, period_ns=period_ns,
             seed=base_seed + trial, machine_config=machine_config,
             kernel_config=kernel_config,
         )
-        for trial in range(runs)
-    ]
+        summary = summarize_trial(
+            result, trial=trial, seed=base_seed + trial,
+            host_seconds=time.perf_counter() - started,
+        )
+        logger.info(
+            "trial %d/%d (%s under %s) done in %.2fs: sim wall %.4fs, "
+            "%d samples", trial + 1, runs, summary.program_name,
+            result.report.tool, summary.host_seconds,
+            summary.wall_ns / 1e9, summary.sample_count,
+        )
+        summaries.append(summary)
+    return summaries

@@ -41,7 +41,8 @@ class Table1Result:
 
 def run(trials: int = 10, problem_size: int = 5000,
         period_ns: int = ms(10), seed: int = 0,
-        machine_config: Optional[MachineConfig] = None) -> Table1Result:
+        machine_config: Optional[MachineConfig] = None,
+        jobs: Optional[int] = 1) -> Table1Result:
     """Reproduce Table I."""
     program = LinpackWorkload(problem_size)
     gflops: Dict[str, float] = {}
@@ -49,10 +50,10 @@ def run(trials: int = 10, problem_size: int = 5000,
         results = run_trials(
             program, create_tool(name), runs=trials, events=EVENTS,
             period_ns=period_ns, base_seed=seed,
-            machine_config=machine_config,
+            machine_config=machine_config, jobs=jobs,
         )
         gflops[name] = float(np.mean([
-            measured_gflops(result.victim) for result in results
+            measured_gflops(result) for result in results
         ]))
     baseline = gflops["none"]
     loss = {

@@ -63,14 +63,15 @@ class OverheadTableResult:
 
 def run(runs: int = 30, n: int = 1024, period_ns: int = ms(10),
         seed: int = 0,
-        machine_config: Optional[MachineConfig] = None) -> OverheadTableResult:
+        machine_config: Optional[MachineConfig] = None,
+        jobs: Optional[int] = 1) -> OverheadTableResult:
     """Reproduce Table II.  The paper used 100 runs; the default here is
     30 for turnaround — pass ``runs=100`` for the full population."""
     program = TripleLoopMatmul(n)
     runs_data = collect_tool_runs(
         program, TOOLS, runs=runs, period_ns=period_ns,
         events=OVERHEAD_EVENTS, base_seed=seed,
-        machine_config=machine_config,
+        machine_config=machine_config, jobs=jobs,
     )
     baseline = runs_data["none"].wall_ns
     stats: Dict[str, OverheadStats] = {}

@@ -29,14 +29,15 @@ TOOLS = ("none", "k-leb", "perf-stat", "perf-record", "papi", "limit")
 
 def run(runs: int = 30, n: int = 1180, period_ns: int = ms(10),
         seed: int = 0,
-        machine_config: Optional[MachineConfig] = None) -> OverheadTableResult:
+        machine_config: Optional[MachineConfig] = None,
+        jobs: Optional[int] = 1) -> OverheadTableResult:
     """Reproduce Table III.  LiMiT must come back unsupported — Intel
     MKL cannot run on the patched 2.6.32 kernel."""
     program = MklDgemm(n)
     runs_data = collect_tool_runs(
         program, TOOLS, runs=runs, period_ns=period_ns,
         events=OVERHEAD_EVENTS, base_seed=seed,
-        machine_config=machine_config,
+        machine_config=machine_config, jobs=jobs,
     )
     baseline = runs_data["none"].wall_ns
     stats = {}

@@ -30,17 +30,23 @@ class _HeapEntry:
 class ScheduledEvent:
     """Handle to a scheduled callback; supports cancellation."""
 
-    __slots__ = ("when", "callback", "label", "_cancelled")
+    __slots__ = ("when", "callback", "label", "_cancelled", "_queue")
 
-    def __init__(self, when: int, callback: EventCallback, label: str) -> None:
+    def __init__(self, when: int, callback: EventCallback, label: str,
+                 queue: Optional["EventQueue"] = None) -> None:
         self.when = when
         self.callback = callback
         self.label = label
         self._cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -62,9 +68,16 @@ class EventQueue:
         self._heap: List[_HeapEntry] = []
         self._seq = itertools.count()
         self._dispatching = False
+        # Live (non-cancelled) entry count, maintained on schedule,
+        # cancel, and dispatch so len() is O(1) — the run loop queries
+        # it on every iteration.
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
 
     def schedule(self, when: int, callback: EventCallback,
                  label: str = "event") -> ScheduledEvent:
@@ -76,8 +89,9 @@ class EventQueue:
         """
         if when < 0:
             raise SimulationError(f"cannot schedule event at negative time {when}")
-        event = ScheduledEvent(when, callback, label)
+        event = ScheduledEvent(when, callback, label, queue=self)
         heapq.heappush(self._heap, _HeapEntry(when, next(self._seq), event))
+        self._live += 1
         return event
 
     def peek_time(self) -> Optional[int]:
@@ -104,6 +118,7 @@ class EventQueue:
                 entry = heapq.heappop(self._heap)
                 if entry.event.cancelled:
                     continue
+                self._live -= 1
                 entry.event.callback(entry.when)
                 fired += 1
         finally:
@@ -111,7 +126,15 @@ class EventQueue:
         return fired
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event, cancelling outstanding handles.
+
+        Cancelling (rather than just forgetting) means holders of a
+        :class:`ScheduledEvent` — e.g. an armed ``HrTimer`` — observe
+        ``cancelled=True`` instead of waiting on an event that will
+        never fire.
+        """
+        for entry in self._heap:
+            entry.event.cancel()
         self._heap.clear()
 
     def _drop_cancelled(self) -> None:

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import ToolError
 from repro.hw.machine import MachineConfig
 from repro.hw.pmu import NUM_PROGRAMMABLE
-from repro.experiments.runner import RunResult, run_monitored
+from repro.experiments.runner import TrialSummary, run_monitored, summarize_trial
 from repro.tools.base import MonitoringTool, ToolReport
 from repro.workloads.base import Program
 
@@ -36,7 +36,7 @@ class SequentialProfile:
     tool: str
     events: List[str]
     totals: Dict[str, float]
-    runs: List[RunResult] = field(default_factory=list)
+    runs: List[TrialSummary] = field(default_factory=list)
     groups: List[List[str]] = field(default_factory=list)
 
     @property
@@ -78,13 +78,13 @@ def profile_sequentially(program: Program, tool_factory: ToolFactory,
         for start in range(0, len(unique), group_size)
     ]
     totals: Dict[str, float] = {}
-    runs: List[RunResult] = []
+    runs: List[TrialSummary] = []
     for index, group in enumerate(groups):
         result = run_monitored(
             program, tool_factory(), events=group, period_ns=period_ns,
             seed=seed + index, machine_config=machine_config,
         )
-        runs.append(result)
+        runs.append(summarize_trial(result, trial=index, seed=seed + index))
         for name, value in result.report.totals.items():
             if name in group or (index == 0 and name not in totals):
                 totals[name] = value

@@ -151,18 +151,23 @@ def _stamp(key: str):
     return handler
 
 
-def measured_gflops(task) -> float:
-    """GFLOPS from the task's recorded solve window.
+def measured_gflops(run) -> float:
+    """GFLOPS from the recorded solve window.
 
-    Raises :class:`WorkloadError` if the program has not completed its
-    timing markers yet.
+    Accepts anything carrying the timing markers and program metadata:
+    a live :class:`~repro.kernel.process.Task` or a
+    :class:`~repro.experiments.runner.TrialSummary`.  Raises
+    :class:`WorkloadError` if the program has not completed its timing
+    markers yet.
     """
-    scratch = task.scratch
+    scratch = run.scratch
     if "solve_start" not in scratch or "solve_end" not in scratch:
         raise WorkloadError("LINPACK timing markers missing — run incomplete")
     elapsed_ns = scratch["solve_end"] - scratch["solve_start"]
     if elapsed_ns <= 0:
         raise WorkloadError("LINPACK solve window is empty")
-    program = task.program
-    flops = program.metadata["total_flops"]
+    metadata = getattr(run, "program_metadata", None)
+    if metadata is None:
+        metadata = run.program.metadata
+    flops = metadata["total_flops"]
     return flops / elapsed_ns  # FLOPs per ns == GFLOPS

@@ -70,3 +70,58 @@ class TestRunTrials:
         results = run_trials(UniformComputeWorkload(5e8), NullTool(), runs=3)
         walls = [result.wall_ns for result in results]
         assert len(set(walls)) > 1
+
+
+class TestWallNsGuard:
+    def test_unexited_victim_raises_instead_of_zero(self):
+        """Regression: a victim that never exited used to report
+        wall_ns == 0, silently dragging overhead means toward zero."""
+        from repro.errors import KernelError
+        from repro.experiments.runner import RunResult
+        from repro.kernel.process import Task
+        from repro.tools.base import ToolReport
+
+        victim = Task(pid=1, name="stuck", program=UniformComputeWorkload(1e6))
+        assert victim.wall_time_ns is None
+        report = ToolReport(tool="none", events=[], period_ns=ms(10),
+                            samples=[], totals={}, victim_wall_ns=0,
+                            victim_pid=1)
+        result = RunResult(report=report, victim=victim, kernel=None)
+        with pytest.raises(KernelError):
+            result.wall_ns
+
+    def test_exited_victim_reports_wall(self):
+        result = run_monitored(UniformComputeWorkload(1e6), NullTool(), seed=0)
+        assert result.wall_ns > 0
+
+
+class TestTrialSummary:
+    def test_run_trials_returns_summaries(self):
+        from repro.experiments.runner import TrialSummary
+
+        results = run_trials(UniformComputeWorkload(1e6), NullTool(), runs=2,
+                             base_seed=7)
+        assert all(isinstance(r, TrialSummary) for r in results)
+        assert [r.trial for r in results] == [0, 1]
+        assert [r.seed for r in results] == [7, 8]
+
+    def test_summary_matches_run_result(self):
+        from repro.experiments.runner import summarize_trial
+
+        result = run_monitored(UniformComputeWorkload(1e6),
+                               create_tool("k-leb"), events=EVENTS,
+                               period_ns=ms(10), seed=3)
+        summary = summarize_trial(result, trial=0, seed=3)
+        assert summary.wall_ns == result.wall_ns
+        assert summary.cpu_ns == result.cpu_ns
+        assert summary.report is result.report
+        assert summary.sample_count == result.report.sample_count
+
+    def test_summary_is_picklable(self):
+        import pickle
+
+        results = run_trials(UniformComputeWorkload(1e6),
+                             create_tool("k-leb"), runs=1, events=EVENTS,
+                             period_ns=ms(10))
+        clone = pickle.loads(pickle.dumps(results[0]))
+        assert clone == results[0]

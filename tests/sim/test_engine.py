@@ -107,3 +107,64 @@ class TestCancellation:
         queue.clear()
         assert queue.peek_time() is None
         assert len(queue) == 0
+
+
+class TestLiveCounter:
+    """len() is a maintained counter (O(1)), not a heap scan."""
+
+    def test_cancel_updates_len_without_dispatch(self, queue):
+        handles = [queue.schedule(t, lambda when: None) for t in (10, 20, 30)]
+        handles[1].cancel()
+        assert len(queue) == 2
+
+    def test_double_cancel_decrements_once(self, queue):
+        handle = queue.schedule(10, lambda when: None)
+        queue.schedule(20, lambda when: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_dispatch_decrements(self, queue):
+        queue.schedule(10, lambda when: None)
+        queue.schedule(20, lambda when: None)
+        queue.dispatch_due(15)
+        assert len(queue) == 1
+        queue.dispatch_due(25)
+        assert len(queue) == 0
+
+    def test_callback_rescheduling_keeps_count(self, queue):
+        queue.schedule(10, lambda when: queue.schedule(when + 100,
+                                                       lambda w: None))
+        queue.dispatch_due(10)
+        assert len(queue) == 1
+
+    def test_mixed_sequence_matches_heap_scan(self, queue):
+        handles = [queue.schedule(t, lambda when: None)
+                   for t in (5, 10, 15, 20, 25)]
+        handles[0].cancel()
+        handles[3].cancel()
+        queue.dispatch_due(15)            # fires 10 and 15; 5 was cancelled
+        expected = sum(1 for entry in queue._heap
+                       if not entry.event.cancelled)
+        assert len(queue) == expected == 1
+
+
+class TestClearCancelsHandles:
+    def test_clear_cancels_outstanding_handles(self, queue):
+        handle = queue.schedule(100, lambda when: None)
+        queue.clear()
+        assert handle.cancelled
+        assert len(queue) == 0
+
+    def test_cleared_handle_cancel_is_safe(self, queue):
+        handle = queue.schedule(100, lambda when: None)
+        queue.clear()
+        handle.cancel()                   # idempotent, no double-decrement
+        assert len(queue) == 0
+
+    def test_schedule_after_clear(self, queue):
+        queue.schedule(100, lambda when: None)
+        queue.clear()
+        queue.schedule(50, lambda when: None)
+        assert len(queue) == 1
+        assert queue.peek_time() == 50
