@@ -9,7 +9,7 @@ alignment/averaging across trials.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -69,6 +69,75 @@ def deltas(series: EventSeries) -> EventSeries:
         diff[diff < 0] += wrap
         out[name] = diff
     return EventSeries(series.timestamps[1:], out)
+
+
+@dataclass(frozen=True)
+class SampleGap:
+    """A hole in a sample series: timer misses, pauses, drops.
+
+    ``missing`` estimates how many sampling periods fell inside the
+    hole (at least 1).
+    """
+
+    start_ns: int
+    end_ns: int
+    missing: int
+
+    @property
+    def span_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+def find_gaps(series: EventSeries, period_ns: int,
+              tolerance: float = 1.5) -> List[SampleGap]:
+    """Locate dropped-sample windows in a cumulative sample series.
+
+    An inter-sample interval longer than ``period_ns * tolerance``
+    means the timer fired (or should have fired) without a sample
+    landing — a missed deadline, a paused buffer, or drops.  The
+    default tolerance absorbs ordinary fire jitter.
+    """
+    if period_ns <= 0:
+        raise ExperimentError("period must be positive")
+    if tolerance <= 1.0:
+        raise ExperimentError("gap tolerance must exceed 1.0")
+    if len(series) < 2:
+        return []
+    intervals = np.diff(series.timestamps)
+    threshold = period_ns * tolerance
+    gaps: List[SampleGap] = []
+    for index in np.nonzero(intervals > threshold)[0]:
+        interval = int(intervals[index])
+        missing = max(1, round(interval / period_ns) - 1)
+        gaps.append(SampleGap(
+            start_ns=int(series.timestamps[index]),
+            end_ns=int(series.timestamps[index + 1]),
+            missing=missing,
+        ))
+    return gaps
+
+
+def deltas_with_gaps(series: EventSeries, period_ns: int,
+                     tolerance: float = 1.5
+                     ) -> Tuple[EventSeries, List[SampleGap]]:
+    """Gap-aware differencing: flag holes instead of interpolating.
+
+    Like :func:`deltas`, but intervals spanning a gap get ``NaN``
+    deltas — a delta across a hole mixes several periods' activity
+    into one point and would silently flatten bursts.  Callers plot
+    around the NaNs (matplotlib breaks the line) or handle the
+    returned gap list explicitly.
+    """
+    flat = deltas(series)
+    gaps = find_gaps(series, period_ns, tolerance)
+    if not gaps or len(flat) == 0:
+        return flat, gaps
+    threshold = period_ns * tolerance
+    mask = np.diff(series.timestamps) > threshold
+    values = {name: data.copy() for name, data in flat.values.items()}
+    for data in values.values():
+        data[mask] = np.nan
+    return EventSeries(flat.timestamps, values), gaps
 
 
 def resample_counts(series: EventSeries, bucket_ns: int) -> EventSeries:

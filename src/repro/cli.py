@@ -18,10 +18,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.timeseries import deltas, samples_to_series
+from repro.analysis.timeseries import deltas, find_gaps, samples_to_series
+from repro.errors import FaultError
 from repro.experiments import EXPERIMENTS
 from repro.experiments.report import sparkline, text_table
 from repro.experiments.runner import run_monitored
+from repro.faults import FaultInjector, FaultPlan, RunLedger
 from repro.sim.clock import ms
 from repro.tools.registry import available_tools, create_tool
 from repro.workloads.dgemm import MklDgemm
@@ -63,6 +65,21 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _faults_arg(value: str) -> FaultPlan:
+    try:
+        return FaultPlan.parse(value)
+    except FaultError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+_FAULTS_HELP = (
+    "fault-injection spec, e.g. seed=7,starve=0.3,crash=0.1 "
+    "(keys: seed, timer_jitter, timer_jitter_ns, timer_miss, ioctl, "
+    "read, squeeze, squeeze_factor, squeeze_fires, starve, "
+    "starve_factor, pmu_wrap, crash, timeout, persistent)"
+)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kleb-repro",
@@ -82,6 +99,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
                             help="worker processes for trial populations "
                                  "(default: all cores)")
+    run_parser.add_argument("--faults", type=_faults_arg, default=None,
+                            metavar="SPEC", help=_FAULTS_HELP)
 
     all_parser = sub.add_parser("run-all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true",
@@ -90,6 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
                             help="worker processes for trial populations "
                                  "(default: all cores)")
+    all_parser.add_argument("--faults", type=_faults_arg, default=None,
+                            metavar="SPEC",
+                            help=_FAULTS_HELP + " (trial experiments only)")
 
     monitor = sub.add_parser("monitor", help="one monitored trial")
     monitor.add_argument("--workload", choices=sorted(_WORKLOADS),
@@ -103,16 +125,30 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the full report as JSON")
     monitor.add_argument("--save-csv", default=None, metavar="PATH",
                          help="write the sample series as CSV (K-LEB log layout)")
+    monitor.add_argument("--faults", type=_faults_arg, default=None,
+                         metavar="SPEC", help=_FAULTS_HELP)
     return parser
 
 
 def _run_experiment(experiment_id: str, seed: int,
                     runs: Optional[int], period_ms: Optional[float],
-                    jobs: Optional[int] = None) -> str:
+                    jobs: Optional[int] = None,
+                    faults: Optional[FaultPlan] = None) -> str:
     entry = EXPERIMENTS[experiment_id]
     kwargs = {"seed": seed}
+    ledger: Optional[RunLedger] = None
     if experiment_id in _PARALLEL_EXPERIMENTS:
         kwargs["jobs"] = jobs  # None = all cores (resolve_jobs)
+        if faults is not None:
+            ledger = RunLedger()
+            kwargs["faults"] = faults
+            kwargs["fault_ledger"] = ledger
+    elif faults is not None:
+        raise SystemExit(
+            f"--faults is only supported for trial-population experiments "
+            f"({', '.join(sorted(_PARALLEL_EXPERIMENTS))}), "
+            f"not {experiment_id!r}"
+        )
     if runs is not None:
         key = {"table1": "trials", "fig4": "trials",
                "fig6": "rounds"}.get(experiment_id, "runs")
@@ -123,7 +159,10 @@ def _run_experiment(experiment_id: str, seed: int,
     if period_ms is not None:
         kwargs["period_ns"] = ms(period_ms)
     result = entry.run(**kwargs)
-    return entry.render(result)
+    output = entry.render(result)
+    if ledger is not None:
+        output += "\n\n" + ledger.render()
+    return output
 
 
 def _cmd_list() -> int:
@@ -136,7 +175,8 @@ def _cmd_list() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     print(_run_experiment(args.experiment, args.seed, args.runs,
-                          args.period_ms, jobs=args.jobs))
+                          args.period_ms, jobs=args.jobs,
+                          faults=args.faults))
     return 0
 
 
@@ -144,9 +184,18 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     for experiment_id, entry in EXPERIMENTS.items():
         kwargs = dict(_QUICK_KWARGS[experiment_id]) if args.quick else {}
         kwargs["seed"] = args.seed
+        ledger: Optional[RunLedger] = None
         if experiment_id in _PARALLEL_EXPERIMENTS:
             kwargs["jobs"] = args.jobs
+            if args.faults is not None:
+                # Faults apply only to trial populations; single-run
+                # comparisons run clean.
+                ledger = RunLedger()
+                kwargs["faults"] = args.faults
+                kwargs["fault_ledger"] = ledger
         print(entry.render(entry.run(**kwargs)))
+        if ledger is not None:
+            print("\n" + ledger.render())
         print("\n" + "#" * 72 + "\n")
     return 0
 
@@ -154,9 +203,14 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 def _cmd_monitor(args: argparse.Namespace) -> int:
     program = _WORKLOADS[args.workload]()
     events = tuple(part.strip() for part in args.events.split(",") if part)
+    injector: Optional[FaultInjector] = None
+    if args.faults is not None:
+        # A single in-process trial: kernel-layer faults apply; the
+        # trial-level crash/timeout knobs only matter under `run`.
+        injector = FaultInjector(args.faults)
     result = run_monitored(
         program, create_tool(args.tool), events=events,
-        period_ns=ms(args.period_ms), seed=args.seed,
+        period_ns=ms(args.period_ms), seed=args.seed, faults=injector,
     )
     report = result.report
     print(f"workload : {program.name}")
@@ -170,6 +224,31 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     for name in events:
         if len(series) and name in series.values:
             print(f"{name:16s} {sparkline(series.event(name))}")
+    if injector is not None:
+        print(f"\ninjected faults: {len(injector.ledger.records)}")
+        for record in injector.ledger.records[:20]:
+            print(f"  {record.time_ns:>14,d} ns  {record.site:10s} "
+                  f"{record.kind}")
+        if len(injector.ledger.records) > 20:
+            print(f"  ... and {len(injector.ledger.records) - 20} more")
+        recovery_keys = ("timer_misses", "ioctl_retries", "read_retries",
+                         "recovery_reads", "drain_shrinks",
+                         "drain_restores", "starved_cycles")
+        recovered = {key: report.metadata[key] for key in recovery_keys
+                     if report.metadata.get(key)}
+        if recovered:
+            print("recovery: " + ", ".join(
+                f"{key}={value:g}" for key, value in recovered.items()
+            ))
+        gaps = find_gaps(samples_to_series(report.samples),
+                         report.period_ns)
+        if gaps:
+            total_missing = sum(gap.missing for gap in gaps)
+            print(f"sample gaps: {len(gaps)} "
+                  f"(~{total_missing} samples missing)")
+            for gap in gaps[:10]:
+                print(f"  {gap.start_ns:>14,d} -> {gap.end_ns:,d} ns "
+                      f"(~{gap.missing} missing)")
     if args.save_json:
         from repro.io import save_report_json
 

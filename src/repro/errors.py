@@ -52,6 +52,14 @@ class ModuleError(KernelError):
     """Kernel-module loading or lifecycle failure."""
 
 
+class TransientModuleError(ModuleError):
+    """An injected, retryable device failure (fault injection).
+
+    Raised only by fault-injection hooks; callers such as the K-LEB
+    controller treat it as transient and retry with backoff.
+    """
+
+
 class SyscallError(KernelError):
     """A simulated system call failed (bad arguments, bad state)."""
 
@@ -78,3 +86,11 @@ class ToolUnsupportedError(ToolError):
 
 class ExperimentError(ReproError):
     """An experiment was configured or executed incorrectly."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection plan or ``--faults`` spec."""
+
+
+class TrialCrashError(ExperimentError):
+    """A simulated worker crash injected into a runner trial."""

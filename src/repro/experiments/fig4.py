@@ -21,6 +21,7 @@ from repro.analysis.timeseries import (
 )
 from repro.experiments import report
 from repro.experiments.runner import run_trials
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.sim.clock import ms
 from repro.tools.registry import create_tool
@@ -46,13 +47,15 @@ class Fig4Result:
 def run(trials: int = 10, problem_size: int = 5000,
         period_ns: int = ms(10), seed: int = 0,
         machine_config: Optional[MachineConfig] = None,
-        jobs: Optional[int] = 1) -> Fig4Result:
+        jobs: Optional[int] = 1,
+        faults: Optional[FaultPlan] = None,
+        fault_ledger: Optional[RunLedger] = None) -> Fig4Result:
     """Reproduce Fig. 4."""
     program = LinpackWorkload(problem_size)
     results = run_trials(
         program, create_tool("k-leb"), runs=trials, events=EVENTS,
         period_ns=period_ns, base_seed=seed, machine_config=machine_config,
-        jobs=jobs,
+        jobs=jobs, faults=faults, fault_ledger=fault_ledger,
     )
     per_trial = [
         deltas(samples_to_series(result.report.samples))

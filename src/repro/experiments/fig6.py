@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis.metrics import report_mpki
 from repro.experiments import report
 from repro.experiments.runner import run_trials
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.sim.clock import us
 from repro.tools.registry import create_tool
@@ -40,7 +41,9 @@ class Fig6Result:
 
 def run(rounds: int = 20, period_ns: int = us(100), seed: int = 0,
         machine_config: Optional[MachineConfig] = None,
-        jobs: Optional[int] = 1) -> Fig6Result:
+        jobs: Optional[int] = 1,
+        faults: Optional[FaultPlan] = None,
+        fault_ledger: Optional[RunLedger] = None) -> Fig6Result:
     """Reproduce Fig. 6.  The paper used 100 rounds; default is 20 for
     turnaround — pass ``rounds=100`` for the full population."""
     populations = {}
@@ -50,6 +53,7 @@ def run(rounds: int = 20, period_ns: int = us(100), seed: int = 0,
             program, create_tool("k-leb"), runs=rounds, events=EVENTS,
             period_ns=period_ns, base_seed=seed,
             machine_config=machine_config, jobs=jobs,
+            faults=faults, fault_ledger=fault_ledger,
         )
         totals = [result.report.totals for result in results]
         means = {

@@ -15,6 +15,7 @@ import numpy as np
 from repro.analysis.stats import BoxStats, box_stats, normalize
 from repro.experiments import report
 from repro.experiments.overhead_common import OVERHEAD_EVENTS, collect_tool_runs
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.sim.clock import ms
 from repro.workloads.matmul import TripleLoopMatmul
@@ -39,13 +40,16 @@ class Fig8Result:
 def run(runs: int = 30, n: int = 1024, period_ns: int = ms(10),
         seed: int = 0,
         machine_config: Optional[MachineConfig] = None,
-        jobs: Optional[int] = 1) -> Fig8Result:
+        jobs: Optional[int] = 1,
+        faults: Optional[FaultPlan] = None,
+        fault_ledger: Optional[RunLedger] = None) -> Fig8Result:
     """Reproduce Fig. 8 (same populations as Table II)."""
     program = TripleLoopMatmul(n)
     runs_data = collect_tool_runs(
         program, TOOLS, runs=runs, period_ns=period_ns,
         events=OVERHEAD_EVENTS, base_seed=seed,
         machine_config=machine_config, jobs=jobs,
+        faults=faults, fault_ledger=fault_ledger,
     )
     baseline_mean = float(np.mean(runs_data["none"].wall_ns))
     boxes = {

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ToolUnsupportedError
 from repro.experiments.runner import run_trials
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.tools.registry import create_tool
 from repro.workloads.base import Program
@@ -33,7 +34,10 @@ def collect_tool_runs(program: Program, tool_names: Sequence[str],
                       events: Sequence[str] = OVERHEAD_EVENTS,
                       base_seed: int = 0,
                       machine_config: Optional[MachineConfig] = None,
-                      jobs: Optional[int] = 1) -> Dict[str, ToolRuns]:
+                      jobs: Optional[int] = 1,
+                      faults: Optional[FaultPlan] = None,
+                      fault_ledger: Optional[RunLedger] = None
+                      ) -> Dict[str, ToolRuns]:
     """Run every tool ``runs`` times over ``program``.
 
     Unsupported pairings (LiMiT on a program needing a modern kernel)
@@ -50,6 +54,7 @@ def collect_tool_runs(program: Program, tool_names: Sequence[str],
                 program, create_tool(name), runs=runs, events=events,
                 period_ns=period_ns, base_seed=base_seed,
                 machine_config=machine_config, jobs=jobs,
+                faults=faults, fault_ledger=fault_ledger,
             )
         except ToolUnsupportedError as error:
             record.unsupported_reason = str(error)

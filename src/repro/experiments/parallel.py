@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.errors import ExperimentError
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.kernel.config import KernelConfig
 from repro.tools.base import MonitoringTool
@@ -74,6 +75,7 @@ class _TrialContext:
     base_seed: int
     machine_config: Optional[MachineConfig]
     kernel_config: Optional[KernelConfig]
+    fault_plan: Optional[FaultPlan] = None
 
 
 # Set in the parent immediately before the pool forks; workers read it.
@@ -81,11 +83,29 @@ _context: Optional[_TrialContext] = None
 
 
 def _run_one(trial: int):
-    """Worker body: one seeded trial, summarized for the trip home."""
-    from repro.experiments.runner import run_monitored, summarize_trial
+    """Worker body: one seeded trial, summarized for the trip home.
+
+    Under an active fault plan the whole retry/quarantine loop runs
+    inside the worker — every retry decision is a pure function of
+    ``(plan.seed, trial)``, so the returned
+    :class:`~repro.experiments.runner.TrialOutcome` is identical to
+    what the serial path computes.
+    """
+    from repro.experiments.runner import (
+        run_monitored,
+        run_trial_faulted,
+        summarize_trial,
+    )
 
     ctx = _context
     assert ctx is not None, "worker forked without a trial context"
+    if ctx.fault_plan is not None:
+        return run_trial_faulted(
+            ctx.program, ctx.tool, trial, plan=ctx.fault_plan,
+            events=ctx.events, period_ns=ctx.period_ns,
+            base_seed=ctx.base_seed, machine_config=ctx.machine_config,
+            kernel_config=ctx.kernel_config,
+        )
     started = time.perf_counter()
     result = run_monitored(
         ctx.program, ctx.tool, events=ctx.events, period_ns=ctx.period_ns,
@@ -103,21 +123,32 @@ def run_trials_parallel(program: Program, tool: MonitoringTool, runs: int,
                         events: Sequence[str], period_ns: int,
                         base_seed: int = 0,
                         machine_config: Optional[MachineConfig] = None,
-                        kernel_config: Optional[KernelConfig] = None
+                        kernel_config: Optional[KernelConfig] = None,
+                        faults: Optional[FaultPlan] = None,
+                        fault_ledger: Optional[RunLedger] = None
                         ) -> List["TrialSummary"]:
     """Run ``runs`` seeded trials across ``jobs`` worker processes.
 
     Exceptions raised by a trial (e.g. ``ToolUnsupportedError``)
-    propagate to the caller exactly as in the serial path.
+    propagate to the caller exactly as in the serial path.  An active
+    ``faults`` plan makes workers return
+    :class:`~repro.experiments.runner.TrialOutcome` objects, folded
+    into ``fault_ledger`` in trial order on the way out.
     """
-    from repro.experiments.runner import TrialSummary, run_trials
+    from repro.experiments.runner import (
+        TrialSummary,
+        collect_outcomes,
+        run_trials,
+    )
 
+    faulted = faults is not None and faults.active
     effective = resolve_jobs(jobs, runs)
     if effective <= 1 or runs <= 1:
         return run_trials(
             program, tool, runs, events=events, period_ns=period_ns,
             base_seed=base_seed, machine_config=machine_config,
             kernel_config=kernel_config, jobs=1,
+            faults=faults if faulted else None, fault_ledger=fault_ledger,
         )
 
     global _context
@@ -126,26 +157,38 @@ def run_trials_parallel(program: Program, tool: MonitoringTool, runs: int,
         program=program, tool=tool, runs=runs, events=events,
         period_ns=period_ns, base_seed=base_seed,
         machine_config=machine_config, kernel_config=kernel_config,
+        fault_plan=faults if faulted else None,
     )
-    summaries: List[Optional[TrialSummary]] = [None] * runs
+    results: List[Optional[object]] = [None] * runs
     started = time.perf_counter()
     done = 0
     try:
         with context.Pool(processes=effective) as pool:
             # chunksize=1 for load balance; order is restored by index.
-            for summary in pool.imap_unordered(_run_one, range(runs),
-                                               chunksize=1):
-                summaries[summary.trial] = summary
+            for result in pool.imap_unordered(_run_one, range(runs),
+                                              chunksize=1):
+                results[result.trial] = result
                 done += 1
+                if faulted:
+                    logger.info("trial %d/%d (#%d) done: %s", done, runs,
+                                result.trial,
+                                "quarantined" if result.quarantined
+                                else f"{result.attempts} attempt(s)")
+                    continue
                 logger.info(
                     "trial %d/%d (#%d, %s under %s) done in %.2fs: "
-                    "sim wall %.4fs, %d samples", done, runs, summary.trial,
-                    summary.program_name, summary.report.tool,
-                    summary.host_seconds, summary.wall_ns / 1e9,
-                    summary.sample_count,
+                    "sim wall %.4fs, %d samples", done, runs, result.trial,
+                    result.program_name, result.report.tool,
+                    result.host_seconds, result.wall_ns / 1e9,
+                    result.sample_count,
                 )
     finally:
         _context = None
     logger.info("%d trials over %d workers in %.2fs", runs, effective,
                 time.perf_counter() - started)
-    return summaries  # type: ignore[return-value]
+    if faulted:
+        return collect_outcomes(
+            [outcome for outcome in results if outcome is not None],
+            fault_ledger,
+        )
+    return results  # type: ignore[return-value]

@@ -23,7 +23,14 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import KernelError
+from repro.errors import KernelError, TransientModuleError, TrialCrashError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    RunLedger,
+    TrialLedger,
+)
 from repro.hw.machine import Machine, MachineConfig
 from repro.hw.presets import i7_920
 from repro.kernel.config import KernelConfig
@@ -41,6 +48,20 @@ logger = logging.getLogger(__name__)
 # Scratch values carried into a TrialSummary: plain data only, so the
 # summary stays picklable (tools may stash live objects in scratch).
 _PICKLABLE_SCRATCH = (bool, int, float, str, bytes)
+
+# Trial-level retry policy: injected crashes/timeouts are retried with
+# capped exponential backoff; a trial still failing after the budget is
+# quarantined (reported in the fault ledger, not aborting the run).
+MAX_TRIAL_ATTEMPTS = 3
+TRIAL_BACKOFF_BASE_S = 0.05
+TRIAL_BACKOFF_CAP_S = 0.5
+# The *planned* backoff goes in the ledger; the host sleep is capped
+# much lower so fault-heavy test suites stay fast.
+TRIAL_BACKOFF_REAL_CAP_S = 0.02
+# Simulated-time deadline used to model an injected trial timeout: far
+# below any workload's runtime (even process setup takes longer), so
+# the watchdog always trips.
+TRIAL_TIMEOUT_DEADLINE_S = 1e-6
 
 
 @dataclass
@@ -129,7 +150,8 @@ def run_monitored(program: Program, tool: MonitoringTool,
                   seed: int = 0,
                   machine_config: Optional[MachineConfig] = None,
                   kernel_config: Optional[KernelConfig] = None,
-                  deadline_s: float = 300.0) -> RunResult:
+                  deadline_s: float = 300.0,
+                  faults: Optional[FaultInjector] = None) -> RunResult:
     """Run ``program`` under ``tool`` on a fresh system; see module doc."""
     machine = Machine(machine_config or i7_920())
     config = kernel_config or KernelConfig()
@@ -140,6 +162,7 @@ def run_monitored(program: Program, tool: MonitoringTool,
         config=config,
         rng=RngStreams(seed),
         patches=list(tool.required_patches),
+        faults=faults,
     )
     tool.check_compatible(kernel, program)
     prepared = tool.prepare_program(program, events, period_ns)
@@ -150,6 +173,144 @@ def run_monitored(program: Program, tool: MonitoringTool,
     return RunResult(report=report, victim=victim, kernel=kernel)
 
 
+@dataclass
+class TrialOutcome:
+    """Plain-data result of one *fault-injected* trial.
+
+    Wraps the :class:`TrialSummary` (``None`` when the trial was
+    quarantined) with the retry/fault accounting the run ledger needs.
+    Picklable, so the parallel path returns it unchanged.
+    """
+
+    trial: int
+    seed: int
+    summary: Optional[TrialSummary]
+    attempts: int = 1
+    quarantined: bool = False
+    error: str = ""
+    records: List[FaultRecord] = field(default_factory=list)
+
+
+def _trial_backoff_s(attempt: int) -> float:
+    """Planned capped-exponential backoff before retry ``attempt``."""
+    return min(TRIAL_BACKOFF_BASE_S * (2 ** (attempt - 1)),
+               TRIAL_BACKOFF_CAP_S)
+
+
+def run_trial_faulted(program: Program, tool: MonitoringTool, trial: int, *,
+                      plan: FaultPlan,
+                      events: Sequence[str] = DEFAULT_EVENTS,
+                      period_ns: int = 10_000_000,
+                      base_seed: int = 0,
+                      machine_config: Optional[MachineConfig] = None,
+                      kernel_config: Optional[KernelConfig] = None
+                      ) -> TrialOutcome:
+    """One trial under a fault plan, with retry and quarantine.
+
+    The trial's fate (crash / timeout / persistent failure / benign) is
+    a pure function of ``(plan.seed, trial)`` — see
+    :meth:`~repro.faults.FaultPlan.trial_fate` — so serial and parallel
+    execution reach identical decisions.  Each attempt rebuilds a fresh
+    :class:`~repro.faults.FaultInjector` for the same ``(plan, trial)``
+    pair, so a retry replays identical in-simulation faults and the
+    final successful attempt is reproducible in isolation.
+
+    Only *injected* failure modes are caught and retried; a genuine
+    bug (any other exception) propagates exactly as in the plain path.
+    """
+    seed = base_seed + trial
+    fate = plan.trial_fate(trial)
+    records: List[FaultRecord] = []
+    last_error = ""
+    for attempt in range(1, MAX_TRIAL_ATTEMPTS + 1):
+        injector = FaultInjector(plan, trial=trial)
+        inject_timeout = (fate.kind == "timeout"
+                          and attempt <= fate.failing_attempts)
+        started = time.perf_counter()
+        try:
+            if (fate.kind in ("crash", "persistent")
+                    and attempt <= fate.failing_attempts):
+                flavour = ("persistent worker failure"
+                           if fate.kind == "persistent"
+                           else "transient worker crash")
+                raise TrialCrashError(
+                    f"trial {trial}: injected {flavour} (attempt {attempt})"
+                )
+            result = run_monitored(
+                program, tool, events=events, period_ns=period_ns,
+                seed=seed, machine_config=machine_config,
+                kernel_config=kernel_config,
+                deadline_s=(TRIAL_TIMEOUT_DEADLINE_S if inject_timeout
+                            else 300.0),
+                faults=injector,
+            )
+        except TrialCrashError as error:
+            kind = ("persistent-failure" if fate.kind == "persistent"
+                    else "worker-crash")
+            records.append(FaultRecord(time_ns=0, site="runner", kind=kind,
+                                       detail=str(error)))
+            last_error = str(error)
+        except TransientModuleError as error:
+            # Controller exhausted its own retry budget against an
+            # injected device failure; the whole trial is retryable.
+            records.append(FaultRecord(time_ns=0, site="runner",
+                                       kind="device-failure",
+                                       detail=str(error)))
+            last_error = str(error)
+        except KernelError as error:
+            if not inject_timeout:
+                raise  # a real bug, not our watchdog — propagate
+            records.append(FaultRecord(time_ns=0, site="runner",
+                                       kind="trial-timeout",
+                                       detail=str(error)))
+            last_error = str(error)
+        else:
+            records.extend(injector.ledger.records)
+            summary = summarize_trial(
+                result, trial=trial, seed=seed,
+                host_seconds=time.perf_counter() - started,
+            )
+            return TrialOutcome(trial=trial, seed=seed, summary=summary,
+                                attempts=attempt, records=records)
+        if attempt < MAX_TRIAL_ATTEMPTS:
+            backoff_s = _trial_backoff_s(attempt)
+            records.append(FaultRecord(
+                time_ns=0, site="runner", kind="retry-backoff",
+                detail=f"attempt {attempt} failed; "
+                       f"backing off {backoff_s:.2f}s",
+            ))
+            time.sleep(min(backoff_s, TRIAL_BACKOFF_REAL_CAP_S))
+    logger.warning("trial %d quarantined after %d attempts: %s",
+                   trial, MAX_TRIAL_ATTEMPTS, last_error)
+    return TrialOutcome(trial=trial, seed=seed, summary=None,
+                        attempts=MAX_TRIAL_ATTEMPTS, quarantined=True,
+                        error=last_error, records=records)
+
+
+def collect_outcomes(outcomes: Sequence[TrialOutcome],
+                     fault_ledger: Optional[RunLedger] = None
+                     ) -> List[TrialSummary]:
+    """Fold trial outcomes into the ledger; return surviving summaries.
+
+    Quarantined trials contribute a ledger entry (and a warning) but no
+    summary — downstream statistics run on the survivors, exactly as a
+    robust harness would treat a persistently broken host.
+    """
+    summaries: List[TrialSummary] = []
+    for outcome in sorted(outcomes, key=lambda o: o.trial):
+        if fault_ledger is not None:
+            fault_ledger.add(TrialLedger(
+                trial=outcome.trial, seed=outcome.seed,
+                attempts=outcome.attempts,
+                quarantined=outcome.quarantined,
+                error=outcome.error,
+                records=list(outcome.records),
+            ))
+        if outcome.summary is not None:
+            summaries.append(outcome.summary)
+    return summaries
+
+
 def run_trials(program: Program, tool: MonitoringTool,
                runs: int,
                events: Sequence[str] = DEFAULT_EVENTS,
@@ -157,7 +318,10 @@ def run_trials(program: Program, tool: MonitoringTool,
                base_seed: int = 0,
                machine_config: Optional[MachineConfig] = None,
                kernel_config: Optional[KernelConfig] = None,
-               jobs: Optional[int] = 1) -> List[TrialSummary]:
+               jobs: Optional[int] = 1,
+               faults: Optional[FaultPlan] = None,
+               fault_ledger: Optional[RunLedger] = None
+               ) -> List[TrialSummary]:
     """Repeat :func:`run_monitored` with per-trial seeds.
 
     Trial ``t`` always runs with seed ``base_seed + t``.  With
@@ -165,15 +329,33 @@ def run_trials(program: Program, tool: MonitoringTool,
     a worker pool (``jobs=None`` uses every core).  Both paths assign
     seeds identically and return summaries in trial order, so the
     results are bit-for-bit identical regardless of ``jobs``.
+
+    An active ``faults`` plan routes every trial through
+    :func:`run_trial_faulted` (retry + quarantine); ``fault_ledger``
+    collects per-trial fault records.  An inert plan (or ``None``)
+    keeps this path byte-identical to the unfaulted one.
     """
     from repro.experiments.parallel import resolve_jobs, run_trials_parallel
 
+    faulted = faults is not None and faults.active
     if resolve_jobs(jobs, runs) > 1:
         return run_trials_parallel(
             program, tool, runs, jobs=jobs, events=events,
             period_ns=period_ns, base_seed=base_seed,
             machine_config=machine_config, kernel_config=kernel_config,
+            faults=faults if faulted else None, fault_ledger=fault_ledger,
         )
+    if faulted:
+        assert faults is not None
+        outcomes = [
+            run_trial_faulted(
+                program, tool, trial, plan=faults, events=events,
+                period_ns=period_ns, base_seed=base_seed,
+                machine_config=machine_config, kernel_config=kernel_config,
+            )
+            for trial in range(runs)
+        ]
+        return collect_outcomes(outcomes, fault_ledger)
     summaries: List[TrialSummary] = []
     for trial in range(runs):
         started = time.perf_counter()

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.experiments import report
 from repro.experiments.runner import run_trials
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.sim.clock import ms
 from repro.tools.registry import create_tool
@@ -42,7 +43,9 @@ class Table1Result:
 def run(trials: int = 10, problem_size: int = 5000,
         period_ns: int = ms(10), seed: int = 0,
         machine_config: Optional[MachineConfig] = None,
-        jobs: Optional[int] = 1) -> Table1Result:
+        jobs: Optional[int] = 1,
+        faults: Optional[FaultPlan] = None,
+        fault_ledger: Optional[RunLedger] = None) -> Table1Result:
     """Reproduce Table I."""
     program = LinpackWorkload(problem_size)
     gflops: Dict[str, float] = {}
@@ -51,6 +54,7 @@ def run(trials: int = 10, problem_size: int = 5000,
             program, create_tool(name), runs=trials, events=EVENTS,
             period_ns=period_ns, base_seed=seed,
             machine_config=machine_config, jobs=jobs,
+            faults=faults, fault_ledger=fault_ledger,
         )
         gflops[name] = float(np.mean([
             measured_gflops(result) for result in results

@@ -31,6 +31,7 @@ from repro.experiments.overhead_common import (
     ToolRuns,
     collect_tool_runs,
 )
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.sim.clock import ms
 from repro.workloads.matmul import TripleLoopMatmul
@@ -64,7 +65,9 @@ class OverheadTableResult:
 def run(runs: int = 30, n: int = 1024, period_ns: int = ms(10),
         seed: int = 0,
         machine_config: Optional[MachineConfig] = None,
-        jobs: Optional[int] = 1) -> OverheadTableResult:
+        jobs: Optional[int] = 1,
+        faults: Optional[FaultPlan] = None,
+        fault_ledger: Optional[RunLedger] = None) -> OverheadTableResult:
     """Reproduce Table II.  The paper used 100 runs; the default here is
     30 for turnaround — pass ``runs=100`` for the full population."""
     program = TripleLoopMatmul(n)
@@ -72,6 +75,7 @@ def run(runs: int = 30, n: int = 1024, period_ns: int = ms(10),
         program, TOOLS, runs=runs, period_ns=period_ns,
         events=OVERHEAD_EVENTS, base_seed=seed,
         machine_config=machine_config, jobs=jobs,
+        faults=faults, fault_ledger=fault_ledger,
     )
     baseline = runs_data["none"].wall_ns
     stats: Dict[str, OverheadStats] = {}

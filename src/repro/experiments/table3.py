@@ -20,6 +20,7 @@ from typing import Optional
 from repro.analysis.overhead import OverheadStats, summarize_overhead
 from repro.experiments.overhead_common import OVERHEAD_EVENTS, collect_tool_runs
 from repro.experiments.table2 import OverheadTableResult, render as _render
+from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.sim.clock import ms
 from repro.workloads.dgemm import MklDgemm
@@ -30,7 +31,9 @@ TOOLS = ("none", "k-leb", "perf-stat", "perf-record", "papi", "limit")
 def run(runs: int = 30, n: int = 1180, period_ns: int = ms(10),
         seed: int = 0,
         machine_config: Optional[MachineConfig] = None,
-        jobs: Optional[int] = 1) -> OverheadTableResult:
+        jobs: Optional[int] = 1,
+        faults: Optional[FaultPlan] = None,
+        fault_ledger: Optional[RunLedger] = None) -> OverheadTableResult:
     """Reproduce Table III.  LiMiT must come back unsupported — Intel
     MKL cannot run on the patched 2.6.32 kernel."""
     program = MklDgemm(n)
@@ -38,6 +41,7 @@ def run(runs: int = 30, n: int = 1180, period_ns: int = ms(10),
         program, TOOLS, runs=runs, period_ns=period_ns,
         events=OVERHEAD_EVENTS, base_seed=seed,
         machine_config=machine_config, jobs=jobs,
+        faults=faults, fault_ledger=fault_ledger,
     )
     baseline = runs_data["none"].wall_ns
     stats = {}

@@ -1,0 +1,41 @@
+"""Seeded, deterministic fault injection and the degradation paths it
+exercises.
+
+The paper's §III safety mechanism (pause-on-full ring buffer) is
+K-LEB's only defense against controller starvation; this package makes
+that defense — and every other failure path in the reproduction —
+testable on demand:
+
+* :class:`FaultPlan` — pure configuration: probabilities/magnitudes
+  per fault site plus the seed.  Identical seeds yield bit-identical
+  fault schedules, across runs and across worker counts.
+* :class:`FaultInjector` — per-trial oracle consulted at the hook
+  points (HRTimer fires, K-LEB ioctl/read entry, buffer pushes,
+  controller drain cycles, PMU programming).
+* :class:`FaultLedger` / :class:`RunLedger` — plain-data records of
+  every injected fault and recovery action, reported per trial.
+
+Recovery lives with the components: the controller retries transient
+device failures with capped exponential backoff and adaptively
+shortens its drain interval under back-pressure; the runner retries
+transiently-failing trials and quarantines persistent ones; the
+analysis layer flags dropped-sample gaps instead of interpolating
+over them.
+"""
+
+from repro.faults.inject import FaultInjector, INERT_PLAN
+from repro.faults.ledger import FaultLedger, FaultRecord, RunLedger, TrialLedger
+from repro.faults.plan import ALWAYS_FAILS, BENIGN_FATE, FaultPlan, TrialFate
+
+__all__ = [
+    "ALWAYS_FAILS",
+    "BENIGN_FATE",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultPlan",
+    "FaultRecord",
+    "INERT_PLAN",
+    "RunLedger",
+    "TrialFate",
+    "TrialLedger",
+]

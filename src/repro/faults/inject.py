@@ -1,0 +1,156 @@
+"""The fault injector: consulted at every hook point in the stack.
+
+One :class:`FaultInjector` is created per trial attempt and handed to
+the :class:`~repro.kernel.kernel.Kernel`; hook points (HRTimer fires,
+K-LEB ioctl/read entry, buffer pushes, controller drain cycles) ask it
+whether a fault strikes *now*.  All randomness comes from the
+injector's own :class:`~repro.sim.rng.RngStreams` family derived from
+``(plan.seed, trial)`` — never from the kernel's experiment streams —
+so enabling fault injection does not perturb a single draw of the
+underlying simulation, and the same plan yields a bit-identical fault
+schedule on every run and under any worker count.
+
+With an inert plan every hook returns its benign answer without
+touching an rng stream, so the no-faults path costs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import FaultPlan
+from repro.hw.pmu import COUNTER_WIDTH_BITS
+from repro.sim.rng import RngStreams
+
+_COUNTER_WRAP = 1 << COUNTER_WIDTH_BITS
+
+#: Plan with every fault site disabled — the default for every kernel.
+INERT_PLAN = FaultPlan()
+
+
+class FaultInjector:
+    """Per-trial deterministic fault source plus its ledger."""
+
+    def __init__(self, plan: FaultPlan = INERT_PLAN, trial: int = 0) -> None:
+        plan.validate()
+        self.plan = plan
+        self.trial = trial
+        self.ledger = FaultLedger()
+        self._rng = RngStreams(plan.seed).fork(trial)
+        # Active capacity-squeeze episode, if any.
+        self._squeeze_fires_left = 0
+        self._squeeze_capacity: Optional[int] = None
+
+    def _stream(self, name: str) -> np.random.Generator:
+        return self._rng.stream(f"fault:{name}")
+
+    # ------------------------------------------------------------------
+    # HRTimer hooks (kernel/hrtimer.py)
+    # ------------------------------------------------------------------
+    def timer_extra_jitter_ns(self, now: int) -> int:
+        """Extra fire latency injected on top of the model's jitter."""
+        probability = self.plan.timer_extra_jitter_prob
+        if probability <= 0:
+            return 0
+        rng = self._stream("timer-jitter")
+        if float(rng.uniform()) >= probability:
+            return 0
+        extra = int(rng.exponential(self.plan.timer_extra_jitter_ns))
+        if extra <= 0:
+            return 0
+        self.ledger.record(now, "hrtimer", "extra-jitter", f"+{extra}ns")
+        return extra
+
+    def timer_missed(self, now: int) -> bool:
+        """True when this fire's handler is swallowed (masked-IRQ window)."""
+        probability = self.plan.timer_miss_prob
+        if probability <= 0:
+            return False
+        if float(self._stream("timer-miss").uniform()) >= probability:
+            return False
+        self.ledger.record(now, "hrtimer", "missed-deadline")
+        return True
+
+    # ------------------------------------------------------------------
+    # Device-interface hooks (tools/kleb/module.py)
+    # ------------------------------------------------------------------
+    def ioctl_fails(self, command: str, now: int) -> bool:
+        probability = self.plan.ioctl_failure_prob
+        if probability <= 0:
+            return False
+        if float(self._stream("ioctl").uniform()) >= probability:
+            return False
+        self.ledger.record(now, "ioctl", "transient-failure", command)
+        return True
+
+    def read_fails(self, now: int) -> bool:
+        probability = self.plan.read_failure_prob
+        if probability <= 0:
+            return False
+        if float(self._stream("read").uniform()) >= probability:
+            return False
+        self.ledger.record(now, "read", "transient-failure")
+        return True
+
+    # ------------------------------------------------------------------
+    # Ring-buffer hooks (kernel/ringbuffer.py via the module's fire path)
+    # ------------------------------------------------------------------
+    def squeeze_capacity(self, nominal_capacity: int,
+                         now: int) -> Optional[int]:
+        """Effective buffer capacity for this timer fire.
+
+        Returns the squeezed capacity while an episode is active, or
+        ``None`` when the buffer should run at nominal capacity.
+        Episodes start with probability ``squeeze_prob`` per fire and
+        last ``squeeze_fires`` fires.
+        """
+        if self.plan.squeeze_prob <= 0:
+            return None
+        if self._squeeze_fires_left > 0:
+            self._squeeze_fires_left -= 1
+            if self._squeeze_fires_left == 0:
+                self.ledger.record(now, "ringbuffer", "squeeze-released")
+                self._squeeze_capacity = None
+                return None
+            return self._squeeze_capacity
+        if float(self._stream("squeeze").uniform()) < self.plan.squeeze_prob:
+            capacity = max(1, int(nominal_capacity * self.plan.squeeze_factor))
+            self._squeeze_capacity = capacity
+            self._squeeze_fires_left = self.plan.squeeze_fires
+            self.ledger.record(
+                now, "ringbuffer", "squeeze",
+                f"capacity {nominal_capacity} -> {capacity} "
+                f"for {self.plan.squeeze_fires} fires",
+            )
+            return capacity
+        return None
+
+    # ------------------------------------------------------------------
+    # Controller hooks (tools/kleb/controller.py)
+    # ------------------------------------------------------------------
+    def starve_factor(self, now: int) -> float:
+        """Multiplier applied to this drain cycle's sleep (1.0 = none)."""
+        probability = self.plan.starve_prob
+        if probability <= 0:
+            return 1.0
+        if float(self._stream("starve").uniform()) >= probability:
+            return 1.0
+        self.ledger.record(now, "controller", "starved-cycle",
+                           f"x{self.plan.starve_factor:g}")
+        return self.plan.starve_factor
+
+    # ------------------------------------------------------------------
+    # PMU hooks (hw/pmu.py via the module's config path)
+    # ------------------------------------------------------------------
+    def counter_preload(self, index: int, now: int) -> Optional[int]:
+        """Initial counter value forcing an early 48-bit wraparound."""
+        margin = self.plan.pmu_wrap_margin
+        if margin is None:
+            return None
+        value = _COUNTER_WRAP - margin
+        self.ledger.record(now, "pmu", "wrap-preload",
+                           f"counter {index} -> 2^48-{margin}")
+        return value

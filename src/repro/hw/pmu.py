@@ -162,6 +162,17 @@ class Pmu:
         """Clear IA32_PERF_GLOBAL_CTRL — freezes every counter."""
         self.wrmsr(MSR.IA32_PERF_GLOBAL_CTRL, 0)
 
+    def write_counter(self, index: int, value: int) -> None:
+        """Set one programmable counter's value directly.
+
+        Drivers use this to seed a counter near the 48-bit ceiling
+        (sampling-by-overflow setups, fault injection exercising
+        wraparound); the value wraps modulo 2^48 as a WRMSR would.
+        """
+        if not 0 <= index < NUM_PROGRAMMABLE:
+            raise PMUError(f"no programmable counter {index}")
+        self._pmc[index] = float(int(value) % _COUNTER_WRAP)
+
     def reset_counters(self) -> None:
         """Zero all counter values (config registers untouched)."""
         self._pmc = [0.0] * NUM_PROGRAMMABLE

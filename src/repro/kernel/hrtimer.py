@@ -37,6 +37,7 @@ class HrTimer:
         self._pending: Optional[ScheduledEvent] = None
         self._rng: np.random.Generator = kernel.rng.stream(f"hrtimer:{label}")
         self.fires = 0
+        self.missed = 0
 
     @property
     def active(self) -> bool:
@@ -71,18 +72,28 @@ class HrTimer:
         return max(0, int(draw))
 
     def _schedule(self) -> None:
-        fire_at = self._next_ideal + self._jitter()
+        # Fault injection may stretch this fire's latency beyond the
+        # model's own jitter (e.g. long IRQ-disabled sections).
+        fire_at = (self._next_ideal + self._jitter()
+                   + self._kernel.faults.timer_extra_jitter_ns(
+                       self._kernel.now))
         self._pending = self._kernel.events.schedule(
             fire_at, self._fire, label=f"hrtimer:{self._label}"
         )
 
     def _fire(self, when: int) -> None:
         self._pending = None
-        self.fires += 1
-        # Interrupt context: the kernel charges IRQ entry/exit around
-        # the handler, counted at kernel privilege.
-        self._kernel.run_interrupt(lambda: self._callback(when),
-                                   label=self._label)
+        if self._kernel.faults.timer_missed(when):
+            # Injected missed deadline: the expiry came and went inside
+            # a masked-interrupt window — the handler never runs and
+            # this sample window is simply lost (a gap, not a burst).
+            self.missed += 1
+        else:
+            self.fires += 1
+            # Interrupt context: the kernel charges IRQ entry/exit
+            # around the handler, counted at kernel privilege.
+            self._kernel.run_interrupt(lambda: self._callback(when),
+                                       label=self._label)
         # Re-arm on the ideal grid so jitter does not accumulate.
         self._next_ideal += self._period_ns
         if self._next_ideal <= self._kernel.now:

@@ -15,6 +15,7 @@ from collections import Counter
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import KernelError, ModuleError, ProcessError, SyscallError
+from repro.faults.inject import FaultInjector
 from repro.hw.core import ExecStop
 from repro.hw.machine import Machine
 from repro.kernel.config import KernelConfig
@@ -34,10 +35,15 @@ class Kernel:
     def __init__(self, machine: Machine,
                  config: Optional[KernelConfig] = None,
                  rng: Optional[RngStreams] = None,
-                 patches: Optional[List[str]] = None) -> None:
+                 patches: Optional[List[str]] = None,
+                 faults: Optional[FaultInjector] = None) -> None:
         self.machine = machine
         self.config = config if config is not None else KernelConfig()
         self.rng = rng if rng is not None else RngStreams(0)
+        # Fault oracle consulted at hook points (HRTimer fires, module
+        # ioctl/read, buffer pushes).  Draws from its own seeded streams,
+        # so an inert injector leaves the simulation bit-identical.
+        self.faults = faults if faults is not None else FaultInjector()
         self.clock = Clock()
         self.events = EventQueue()
         self.kprobes = KprobeManager()

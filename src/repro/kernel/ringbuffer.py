@@ -5,6 +5,12 @@ scheduled and drains them with batched reads (§III).  If the controller
 is starved and the buffer fills, a *safety mechanism* pauses collection
 until space is freed — implemented here as the ``paused`` flag, which
 the K-LEB module checks before pushing and clears on drain.
+
+The buffer also supports *capacity squeezes* — a temporarily reduced
+effective capacity, used by fault injection to model memory pressure on
+the kernel sample pool — and keeps conservation counters
+(``total_pushed``/``total_drained``/``total_cleared``/``dropped``) so
+no sample can be lost untracked.
 """
 
 from __future__ import annotations
@@ -32,21 +38,52 @@ class RingBuffer(Generic[T]):
         if not 0 <= self.resume_threshold < capacity:
             raise KernelError("resume threshold must be in [0, capacity)")
         self._entries: Deque[T] = deque()
+        self._squeezed_capacity: Optional[int] = None
         self.paused = False
         self.dropped = 0
         self.total_pushed = 0
+        self.total_drained = 0
+        self.total_cleared = 0
         self.pause_episodes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
+    def effective_capacity(self) -> int:
+        """Nominal capacity, or the squeezed capacity while under one."""
+        if self._squeezed_capacity is not None:
+            return self._squeezed_capacity
+        return self.capacity
+
+    @property
+    def squeezed(self) -> bool:
+        return self._squeezed_capacity is not None
+
+    @property
     def full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return len(self._entries) >= self.effective_capacity
 
     @property
     def free_space(self) -> int:
-        return self.capacity - len(self._entries)
+        return max(0, self.effective_capacity - len(self._entries))
+
+    def squeeze(self, capacity: int) -> None:
+        """Temporarily cap effective capacity (memory pressure).
+
+        Occupancy above the squeezed capacity is kept — the squeeze
+        refuses *new* pushes (back-pressure) rather than discarding
+        samples already pooled.
+        """
+        if capacity <= 0:
+            raise KernelError(
+                f"squeeze capacity must be positive, got {capacity}"
+            )
+        self._squeezed_capacity = min(int(capacity), self.capacity)
+
+    def unsqueeze(self) -> None:
+        """Restore nominal capacity.  Idempotent."""
+        self._squeezed_capacity = None
 
     def push(self, item: T) -> bool:
         """Append a sample; returns False (and pauses) when full.
@@ -69,16 +106,26 @@ class RingBuffer(Generic[T]):
         return True
 
     def drain(self, max_items: Optional[int] = None) -> List[T]:
-        """Remove and return up to ``max_items`` samples (all by default)."""
+        """Remove and return up to ``max_items`` samples (all by default).
+
+        Raises :class:`KernelError` for a negative ``max_items`` — a
+        silent empty batch would mask a caller bug as starvation.
+        """
+        if max_items is not None and max_items < 0:
+            raise KernelError(
+                f"drain max_items must be non-negative, got {max_items}"
+            )
         count = len(self._entries) if max_items is None else min(
             max_items, len(self._entries)
         )
         drained = [self._entries.popleft() for _ in range(count)]
+        self.total_drained += count
         if self.paused and len(self._entries) <= self.resume_threshold:
             self.paused = False
         return drained
 
     def clear(self) -> None:
         """Drop everything and resume collection."""
+        self.total_cleared += len(self._entries)
         self._entries.clear()
         self.paused = False

@@ -11,6 +11,17 @@ Responsibilities (paper Fig. 1, right half):
 The controller's logging work is ordinary user-space execution on the
 same machine, so its cost competes with the monitored program for CPU
 time — this is where most of K-LEB's (small) overhead comes from.
+
+Degradation/recovery behaviour (exercised by :mod:`repro.faults`):
+
+* transient ``ioctl``/``read`` failures are retried with capped
+  exponential backoff (``_BACKOFF_BASE_NS`` doubling up to
+  ``_BACKOFF_CAP_NS``) before giving up;
+* when a drain observes the module's safety stop (paused buffer) or
+  fresh drops, the controller immediately issues recovery reads to
+  free the pool, then *shortens* its drain interval — halving down to
+  the jiffy floor — and only restores the nominal interval after a
+  run of healthy cycles.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.errors import TransientModuleError
 from repro.sim.clock import ms
 from repro.tools import costs
 from repro.tools.base import Sample
@@ -25,6 +37,23 @@ from repro.tools.kleb.module import KLebModule, KLebModuleConfig
 from repro.workloads.base import Block, Program, RateBlock, SyscallBlock
 
 _LOG_RATES = {"LOADS": 0.38, "STORES": 0.27, "BRANCHES": 0.12}
+
+# Retry/backoff tunables for transient device failures.
+_IOCTL_MAX_ATTEMPTS = 8
+_READ_MAX_ATTEMPTS = 8
+_BACKOFF_BASE_NS = ms(1)
+_BACKOFF_CAP_NS = ms(64)
+
+# Adaptive drain: healthy cycles required before stretching the
+# shortened interval back toward nominal, and the cap on back-to-back
+# recovery reads issued when a pause is observed.
+_HEALTHY_CYCLES_TO_RESTORE = 4
+_RECOVERY_READS_MAX = 8
+
+
+def _backoff_ns(attempt: int) -> int:
+    """Capped exponential backoff delay for retry ``attempt`` (0-based)."""
+    return min(_BACKOFF_BASE_NS << attempt, _BACKOFF_CAP_NS)
 
 
 @dataclass
@@ -36,6 +65,13 @@ class ControllerState:
     stop_requested: bool = False
     started: bool = False
     log_bytes: int = 0
+    # Degradation/recovery accounting (all zero on a healthy run).
+    ioctl_retries: int = 0
+    read_retries: int = 0
+    recovery_reads: int = 0
+    drain_shrinks: int = 0
+    drain_restores: int = 0
+    starved_cycles: int = 0
 
 
 class KLebControllerProgram(Program):
@@ -61,14 +97,115 @@ class KLebControllerProgram(Program):
         drain_every = costs.KLEB_DRAIN_EVERY_PERIODS * module_config.period_ns
         self.drain_interval_ns = max(drain_every, ms(10))
 
+    # ------------------------------------------------------------------
+    # Retryable syscall helpers
+    # ------------------------------------------------------------------
+    def _retrying_ioctl(self, call, label: str) -> Iterator[Block]:
+        """Yield ``ioctl`` blocks for ``call`` until it sticks.
+
+        Transient (injected) failures back off exponentially, capped;
+        after ``_IOCTL_MAX_ATTEMPTS`` the last error propagates — at
+        that point the device is persistently broken and the trial
+        fails upward to the runner's quarantine logic.
+        """
+        state = self.state
+        outcome: Dict[str, object] = {}
+        for attempt in range(_IOCTL_MAX_ATTEMPTS):
+            def handler(kernel, task):
+                try:
+                    outcome["value"] = call(kernel, task)
+                    outcome["ok"] = True
+                except TransientModuleError as error:
+                    outcome["ok"] = False
+                    outcome["error"] = error
+                return outcome["ok"]
+
+            yield SyscallBlock("ioctl", handler=handler, label=label)
+            if outcome.pop("ok", False):
+                return
+            state.ioctl_retries += 1
+            if attempt == _IOCTL_MAX_ATTEMPTS - 1:
+                raise outcome["error"]  # type: ignore[misc]
+            delay = _backoff_ns(attempt)
+            yield SyscallBlock(
+                "nanosleep",
+                handler=lambda kernel, task, d=delay: kernel.sleep_current(
+                    d, high_resolution=True
+                ),
+                label=f"{label}-backoff",
+            )
+
+    def _read_and_log(self, holder: Dict[str, object]) -> Iterator[Block]:
+        """One batched read (with retry/backoff) plus user-space logging.
+
+        Fills ``holder`` with the drained batch size and the
+        back-pressure observations the read syscall returns alongside
+        the samples (paused flag, cumulative drop count).
+        """
+        module = self.module
+        state = self.state
+        outcome: Dict[str, object] = {}
+        for attempt in range(_READ_MAX_ATTEMPTS):
+            def do_read(kernel, task):
+                try:
+                    buffer = module.buffer
+                    # Observed *before* the drain: a full drain always
+                    # lifts the safety stop, so the post-drain flag
+                    # would hide every pause episode from user space.
+                    paused = buffer.paused if buffer is not None else False
+                    batch = module.read()
+                    outcome["batch"] = batch
+                    outcome["paused"] = paused
+                    outcome["dropped"] = (buffer.dropped
+                                          if buffer is not None else 0)
+                    outcome["ok"] = True
+                    return len(batch)
+                except TransientModuleError as error:
+                    outcome["ok"] = False
+                    outcome["error"] = error
+                    return -1
+
+            yield SyscallBlock("read", handler=do_read, label="read-samples")
+            if outcome.pop("ok", False):
+                break
+            state.read_retries += 1
+            if attempt == _READ_MAX_ATTEMPTS - 1:
+                raise outcome["error"]  # type: ignore[misc]
+            delay = _backoff_ns(attempt)
+            yield SyscallBlock(
+                "nanosleep",
+                handler=lambda kernel, task, d=delay: kernel.sleep_current(
+                    d, high_resolution=True
+                ),
+                label="read-backoff",
+            )
+        batch = outcome.pop("batch", [])
+        holder["batch_len"] = len(batch)
+        holder["paused"] = outcome.pop("paused", False)
+        holder["dropped"] = outcome.pop("dropped", 0)
+        state.samples.extend(batch)
+        if batch:
+            # CSV formatting in user space, then one buffered write.
+            instructions = (
+                len(batch)
+                * costs.KLEB_LOG_USER_INSTRUCTIONS_PER_SAMPLE
+                * self.cost_factor
+            )
+            state.log_bytes += len(batch) * 64
+            yield RateBlock(instructions=instructions,
+                            rates=dict(_LOG_RATES), cpi=1.0,
+                            label="format-log")
+            yield SyscallBlock("write", label="write-log")
+
+    # ------------------------------------------------------------------
+    # The program
+    # ------------------------------------------------------------------
     def blocks(self) -> Iterator[Block]:
         module = self.module
         state = self.state
 
-        yield SyscallBlock(
-            "ioctl",
-            handler=lambda kernel, task: module.ioctl("config",
-                                                      self.module_config),
+        yield from self._retrying_ioctl(
+            lambda kernel, task: module.ioctl("config", self.module_config),
             label="ioctl-config",
         )
 
@@ -79,38 +216,67 @@ class KLebControllerProgram(Program):
             state.started = True
             return True
 
-        yield SyscallBlock("ioctl", handler=do_start, label="ioctl-start")
+        yield from self._retrying_ioctl(do_start, label="ioctl-start")
 
-        batch_holder: Dict[str, List[Sample]] = {}
+        interval_ns = self.drain_interval_ns
+        floor_ns = max(ms(10), 2 * self.module_config.period_ns)
+        healthy_cycles = 0
+        last_dropped = 0
+        holder: Dict[str, object] = {}
         while True:
+            starve = module.kernel.faults.starve_factor(module.kernel.now)
+            if starve > 1.0:
+                state.starved_cycles += 1
+            sleep_ns = int(interval_ns * starve)
             yield SyscallBlock(
                 "nanosleep",
-                handler=lambda kernel, task: kernel.sleep_current(
-                    self.drain_interval_ns
+                handler=lambda kernel, task, d=sleep_ns: kernel.sleep_current(
+                    d
                 ),
                 label="sleep-drain",
             )
 
-            def do_read(kernel, task):
-                batch = module.read()
-                batch_holder["batch"] = batch
-                return len(batch)
+            yield from self._read_and_log(holder)
+            paused = bool(holder.get("paused", False))
+            dropped = int(holder.get("dropped", 0))
 
-            yield SyscallBlock("read", handler=do_read, label="read-samples")
-            batch = batch_holder.pop("batch", [])
-            state.samples.extend(batch)
-            if batch:
-                # CSV formatting in user space, then one buffered write.
-                instructions = (
-                    len(batch)
-                    * costs.KLEB_LOG_USER_INSTRUCTIONS_PER_SAMPLE
-                    * self.cost_factor
-                )
-                state.log_bytes += len(batch) * 64
-                yield RateBlock(instructions=instructions,
-                                rates=dict(_LOG_RATES), cpi=1.0,
-                                label="format-log")
-                yield SyscallBlock("write", label="write-log")
+            if paused or dropped > last_dropped:
+                # The safety stop engaged (or fresh drops) since the
+                # last look: instead of sleeping through another full
+                # (possibly starved) window, drain again on a short
+                # high-resolution nap until the pressure clears...
+                recovery = 0
+                while recovery < _RECOVERY_READS_MAX:
+                    recovery += 1
+                    state.recovery_reads += 1
+                    nap_ns = floor_ns // 2
+                    yield SyscallBlock(
+                        "nanosleep",
+                        handler=lambda kernel, task, d=nap_ns:
+                            kernel.sleep_current(d, high_resolution=True),
+                        label="recovery-nap",
+                    )
+                    yield from self._read_and_log(holder)
+                    grown = int(holder.get("dropped", 0)) > dropped
+                    dropped = int(holder.get("dropped", 0))
+                    if not (bool(holder.get("paused", False)) or grown):
+                        break
+                # ...and drain more often until the pressure clears.
+                shortened = max(floor_ns, interval_ns // 2)
+                if shortened < interval_ns:
+                    interval_ns = shortened
+                    state.drain_shrinks += 1
+                healthy_cycles = 0
+                last_dropped = dropped
+            else:
+                healthy_cycles += 1
+                if (healthy_cycles >= _HEALTHY_CYCLES_TO_RESTORE
+                        and interval_ns < self.drain_interval_ns):
+                    interval_ns = min(self.drain_interval_ns,
+                                      interval_ns * 2)
+                    state.drain_restores += 1
+                    healthy_cycles = 0
+
             if state.stop_requested and not module.collecting \
                     and module.pending_samples == 0:
                 break
@@ -121,4 +287,4 @@ class KLebControllerProgram(Program):
             state.totals = dict(module.final_totals or {})
             return state.totals
 
-        yield SyscallBlock("ioctl", handler=do_stop, label="ioctl-stop")
+        yield from self._retrying_ioctl(do_stop, label="ioctl-stop")

@@ -19,10 +19,10 @@ buffer fills, collection pauses until a drain frees space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import ModuleError, ToolError
+from repro.errors import ModuleError, ToolError, TransientModuleError
 from repro.kernel.kprobes import ProbePoint
 from repro.kernel.module import KernelModule
 from repro.kernel.process import Task
@@ -72,6 +72,13 @@ class KLebModuleConfig:
             )
         if self.period_ns <= 0:
             raise ToolError("K-LEB period must be positive")
+        if self.buffer_capacity <= 0:
+            # Caught here at the tool layer, not as a KernelError from
+            # RingBuffer halfway through the config ioctl.
+            raise ToolError(
+                f"K-LEB buffer capacity must be positive, "
+                f"got {self.buffer_capacity}"
+            )
         self.resolved_events()  # raises on unknown names or codes
 
 
@@ -133,6 +140,12 @@ class KLebModule(KernelModule):
     # ioctl interface (what the controller calls)
     # ------------------------------------------------------------------
     def ioctl(self, command: str, argument: object = None) -> object:
+        if self.kernel.faults.ioctl_fails(command, self.kernel.now):
+            # Injected transient device failure: the call fails before
+            # touching module state, so a retry is always safe.
+            raise TransientModuleError(
+                f"K-LEB: transient ioctl({command!r}) failure (injected)"
+            )
         if command == "config":
             return self._ioctl_config(argument)
         if command == "start":
@@ -140,7 +153,9 @@ class KLebModule(KernelModule):
         if command == "stop":
             return self._ioctl_stop()
         if command == "stats":
-            return self.stats
+            # A copy: handing out the live mutable stats object would
+            # let user space race the interrupt handler's updates.
+            return replace(self.stats)
         raise ModuleError(f"K-LEB: unknown ioctl {command!r}")
 
     def _ioctl_config(self, argument: object) -> bool:
@@ -158,6 +173,13 @@ class KLebModule(KernelModule):
         for index, event in enumerate(argument.resolved_events()):
             pmu.program_counter(index, event, user=True,
                                 kernel=argument.count_kernel)
+            preload = self.kernel.faults.counter_preload(index,
+                                                         self.kernel.now)
+            if preload is not None:
+                # Fault injection: start near the 48-bit ceiling so the
+                # counter wraps mid-run and downstream analysis must
+                # cope with the discontinuity.
+                pmu.write_counter(index, preload)
         pmu.enable_fixed(user=True, kernel=argument.count_kernel)
         pmu.global_disable()
         return True
@@ -204,6 +226,17 @@ class KLebModule(KernelModule):
     def read(self, max_items: Optional[int] = None) -> List[Sample]:
         if self.buffer is None:
             raise ModuleError("K-LEB: read before config")
+        if max_items is not None and max_items < 0:
+            # An empty batch here would read as "no samples pending"
+            # and silently mask the caller's bug.
+            raise ModuleError(
+                f"K-LEB: read max_items must be non-negative, "
+                f"got {max_items}"
+            )
+        if self.kernel.faults.read_fails(self.kernel.now):
+            raise TransientModuleError(
+                "K-LEB: transient read failure (injected)"
+            )
         batch = self.buffer.drain(max_items)
         if batch:
             # copy_to_user of the sample rows.
@@ -279,6 +312,14 @@ class KLebModule(KernelModule):
         self.kernel.charge_kernel_time(costs.KLEB_HANDLER_NS)
         self.stats.handler_time_ns += costs.KLEB_HANDLER_NS
         assert self.buffer is not None
+        # Fault injection: memory pressure may squeeze the sample pool's
+        # effective capacity for a window of fires.
+        squeezed = self.kernel.faults.squeeze_capacity(self.buffer.capacity,
+                                                       self.kernel.now)
+        if squeezed is not None:
+            self.buffer.squeeze(squeezed)
+        else:
+            self.buffer.unsqueeze()
         snapshot = self.kernel.pmu.snapshot(self.kernel.now)
         sample = Sample(timestamp=self.kernel.now,
                         values=dict(snapshot.by_event))

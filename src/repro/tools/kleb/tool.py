@@ -56,6 +56,21 @@ class KLebSession(Session):
                 "samples_dropped": float(stats.samples_dropped),
                 "pause_episodes": float(stats.pause_episodes),
                 "log_bytes": float(self.state.log_bytes),
+                # Degradation/recovery accounting — all zero on a
+                # healthy run, populated under fault injection.
+                "timer_misses": float(
+                    self.module.timer.missed
+                    if self.module.timer is not None else 0
+                ),
+                "ioctl_retries": float(self.state.ioctl_retries),
+                "read_retries": float(self.state.read_retries),
+                "recovery_reads": float(self.state.recovery_reads),
+                "drain_shrinks": float(self.state.drain_shrinks),
+                "drain_restores": float(self.state.drain_restores),
+                "starved_cycles": float(self.state.starved_cycles),
+                "injected_faults": float(
+                    len(self.kernel.faults.ledger.records)
+                ),
             },
         )
 

@@ -41,6 +41,68 @@ class TestBasics:
         buffer.push(3)  # refused
         assert buffer.total_pushed == 2
 
+    def test_negative_drain_rejected(self):
+        """A negative max_items is a caller bug, not an empty batch."""
+        buffer = RingBuffer(4)
+        buffer.push(1)
+        with pytest.raises(KernelError):
+            buffer.drain(-1)
+        assert len(buffer) == 1  # nothing consumed by the failed call
+
+    def test_drain_and_clear_counters(self):
+        buffer = RingBuffer(8)
+        for value in range(6):
+            buffer.push(value)
+        buffer.drain(2)
+        buffer.clear()
+        assert buffer.total_drained == 2
+        assert buffer.total_cleared == 4
+        # Conservation: everything accepted is drained, cleared, or held.
+        assert buffer.total_pushed == (
+            buffer.total_drained + buffer.total_cleared + len(buffer)
+        )
+
+
+class TestSqueeze:
+    def test_squeeze_caps_effective_capacity(self):
+        buffer = RingBuffer(8)
+        buffer.squeeze(2)
+        assert buffer.squeezed
+        assert buffer.effective_capacity == 2
+        buffer.push(1)
+        buffer.push(2)
+        assert buffer.paused
+        assert not buffer.push(3)
+        assert buffer.dropped == 1
+
+    def test_unsqueeze_restores_nominal_capacity(self):
+        buffer = RingBuffer(8)
+        buffer.squeeze(2)
+        buffer.unsqueeze()
+        assert not buffer.squeezed
+        assert buffer.effective_capacity == 8
+        buffer.unsqueeze()  # idempotent
+
+    def test_squeeze_never_exceeds_nominal(self):
+        buffer = RingBuffer(4)
+        buffer.squeeze(100)
+        assert buffer.effective_capacity == 4
+
+    def test_squeeze_keeps_existing_occupancy(self):
+        """A squeeze refuses new pushes; it never discards pooled
+        samples."""
+        buffer = RingBuffer(8)
+        for value in range(5):
+            buffer.push(value)
+        buffer.squeeze(2)
+        assert len(buffer) == 5
+        assert buffer.drain() == [0, 1, 2, 3, 4]
+
+    def test_invalid_squeeze_rejected(self):
+        buffer = RingBuffer(8)
+        with pytest.raises(KernelError):
+            buffer.squeeze(0)
+
 
 class TestBackPressure:
     def test_fill_pauses_collection(self):

@@ -38,6 +38,88 @@ class TestSequences:
         assert buffer.push(1)
 
 
+class TestBackPressure:
+    """Safety-stop behaviour under sustained controller starvation."""
+
+    @given(st.integers(min_value=2, max_value=64), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pause_resume_hysteresis(self, capacity, data):
+        """Collection resumes exactly when occupancy first reaches the
+        resume threshold, and not one item sooner."""
+        threshold = data.draw(
+            st.integers(min_value=0, max_value=capacity - 1)
+        )
+        buffer = RingBuffer(capacity, resume_threshold=threshold)
+        for value in range(capacity):
+            buffer.push(value)
+        assert buffer.paused
+        while len(buffer) > threshold + 1:
+            buffer.drain(1)
+            assert buffer.paused  # still above threshold
+        buffer.drain(1)
+        assert not buffer.paused
+        assert buffer.push(99)
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_drop_accounting_under_sustained_starvation(
+            self, capacity, extra):
+        """Every push the buffer refuses is counted as dropped — the
+        paper's accounting must balance exactly, never approximately."""
+        buffer = RingBuffer(capacity)
+        offered = capacity + extra
+        for value in range(offered):
+            buffer.push(value)
+        assert buffer.total_pushed == capacity
+        assert buffer.dropped == offered - capacity
+        # Filling to capacity opens exactly one episode, however long
+        # the starvation lasts.
+        assert buffer.pause_episodes == 1
+        assert buffer.total_pushed + buffer.dropped == offered
+
+    @given(st.integers(min_value=2, max_value=32),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_clear_during_pause_episode(self, capacity, extra):
+        """clear() mid-episode lifts the pause, tracks every discarded
+        sample in total_cleared, and lets collection restart."""
+        buffer = RingBuffer(capacity)
+        for value in range(capacity + extra):
+            buffer.push(value)
+        assert buffer.paused
+        held = len(buffer)
+        buffer.clear()
+        assert not buffer.paused
+        assert len(buffer) == 0
+        assert buffer.total_cleared == held
+        assert buffer.push(1)  # a fresh episode can begin
+        assert buffer.total_pushed == capacity + 1
+
+    @given(st.lists(st.sampled_from(["push", "drain", "clear"]),
+                    max_size=400),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_under_arbitrary_interleaving(
+            self, operations, capacity):
+        """total_pushed == total_drained + total_cleared + occupancy
+        after any operation sequence: no sample lost untracked."""
+        buffer = RingBuffer(capacity)
+        offered = 0
+        for operation in operations:
+            if operation == "push":
+                offered += 1
+                buffer.push(offered)
+            elif operation == "drain":
+                buffer.drain(3)
+            else:
+                buffer.clear()
+            assert buffer.total_pushed == (
+                buffer.total_drained + buffer.total_cleared + len(buffer)
+            )
+            assert buffer.total_pushed + buffer.dropped == offered
+
+
 class RingBufferMachine(RuleBasedStateMachine):
     """Stateful model check: the buffer vs a plain list model."""
 
@@ -59,9 +141,21 @@ class RingBufferMachine(RuleBasedStateMachine):
         assert drained == expected
         del self.model[:len(drained)]
 
+    @rule()
+    def clear(self):
+        self.buffer.clear()
+        self.model = []
+
     @invariant()
     def occupancy_matches_model(self):
         assert len(self.buffer) == len(self.model)
+
+    @invariant()
+    def conservation_holds(self):
+        buffer = self.buffer
+        assert buffer.total_pushed == (
+            buffer.total_drained + buffer.total_cleared + len(buffer)
+        )
 
     @invariant()
     def never_over_capacity(self):

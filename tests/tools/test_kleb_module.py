@@ -69,6 +69,22 @@ class TestIoctlProtocol:
         stats = module.ioctl("stats")
         assert stats.timer_fires == 0
 
+    def test_stats_ioctl_returns_a_copy(self, kernel):
+        """The ioctl hands out a snapshot: corrupting it must not
+        corrupt the module's accounting."""
+        module = loaded_module(kernel)
+        stats = module.ioctl("stats")
+        stats.timer_fires = 12345
+        assert module.stats.timer_fires == 0
+        assert module.ioctl("stats").timer_fires == 0
+
+    def test_config_rejects_nonpositive_capacity(self, kernel):
+        module = loaded_module(kernel)
+        with pytest.raises(ToolError):
+            module.ioctl("config", config(capacity=0))
+        with pytest.raises(ToolError):
+            module.ioctl("config", config(capacity=-8))
+
 
 class TestSampling:
     def test_periodic_samples_while_victim_runs(self, kernel):
@@ -183,6 +199,14 @@ class TestSafetyMechanism:
         module = loaded_module(kernel)
         with pytest.raises(ModuleError):
             module.read()
+
+    def test_negative_read_rejected(self, kernel):
+        """A negative max_items must fail loudly, not return an empty
+        batch that reads as 'no samples pending'."""
+        module = loaded_module(kernel)
+        module.ioctl("config", config())
+        with pytest.raises(ModuleError):
+            module.read(-1)
 
     def test_unload_while_collecting_stops_cleanly(self, kernel):
         module = loaded_module(kernel)
