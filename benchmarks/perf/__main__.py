@@ -1,0 +1,145 @@
+"""CLI for the hot-path benchmark suite.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf                 # full suite
+    PYTHONPATH=src python -m benchmarks.perf --quick         # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf --quick \
+        --check BENCH_hotpath.json --tolerance 0.25          # regression gate
+
+The suite writes ``BENCH_hotpath.json`` (``--output`` to override)
+containing the measured numbers, the committed pre-optimization
+baseline (``benchmarks/perf/baseline.json``), and the speedup against
+it.  ``--check`` compares the fresh run's *calibrated* ratios (see
+``suite.py``) against a previously committed result file and exits
+non-zero on a regression beyond ``--tolerance`` (default 25 %).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict
+
+from benchmarks.perf.suite import run_suite
+
+BASELINE_PATH = Path(__file__).parent / "baseline.json"
+DEFAULT_OUTPUT = Path(__file__).parent.parent.parent / "BENCH_hotpath.json"
+
+# Benchmarks whose calibrated ratio the regression gate inspects.
+# Calibration itself is the yardstick and end-to-end is covered by the
+# committed speedup numbers; the micros are the sensitive detectors.
+CHECKED = ("pmu_accumulate", "event_queue", "hrtimer_rearm",
+           "trace_replay", "end_to_end_table2_fig7")
+
+
+def _load_baseline(quick: bool) -> Dict:
+    if not BASELINE_PATH.exists():
+        return {}
+    document = json.loads(BASELINE_PATH.read_text())
+    return document.get("quick" if quick else "full", {})
+
+
+def _speedups(current: Dict[str, Dict[str, float]],
+              baseline: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    speedups: Dict[str, float] = {}
+    for name, metrics in current.items():
+        base = baseline.get(name)
+        if not base or name == "calibration":
+            continue
+        if metrics["ns_per_op"] > 0:
+            speedups[name] = base["ns_per_op"] / metrics["ns_per_op"]
+    return speedups
+
+
+def _check(current: Dict[str, Dict[str, float]], committed_path: Path,
+           tolerance: float) -> int:
+    """Regression gate: fresh calibrated ratios vs a committed run."""
+    try:
+        committed = json.loads(committed_path.read_text())["results"]
+    except (OSError, KeyError, json.JSONDecodeError) as error:
+        print(f"cannot read committed results {committed_path}: {error}",
+              file=sys.stderr)
+        return 2
+    failures = []
+    for name in CHECKED:
+        fresh = current.get(name, {}).get("calibrated")
+        base = committed.get(name, {}).get("calibrated")
+        if fresh is None or base is None or base <= 0:
+            continue
+        regression = fresh / base - 1.0
+        status = "REGRESSION" if regression > tolerance else "ok"
+        print(f"  {name:28s} calibrated {base:10.2f} -> {fresh:10.2f} "
+              f"({regression:+7.1%}) {status}")
+        if regression > tolerance:
+            failures.append(name)
+    if failures:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
+              f"{tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"regression gate passed (tolerance {tolerance:.0%})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf",
+                                     description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke mode)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="result JSON path (default: repo-root "
+                             "BENCH_hotpath.json)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="committed result file to gate regressions "
+                             "against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed calibrated-ratio regression "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    if (args.check is not None
+            and args.check.resolve() == args.output.resolve()):
+        print("--check must point at a previously committed result file, "
+              "not this run's --output (the gate would compare the run "
+              "to itself)", file=sys.stderr)
+        return 2
+
+    mode = "quick" if args.quick else "full"
+    print(f"running hot-path suite ({mode} mode)...")
+    results = run_suite(quick=args.quick)
+    for name, metrics in results.items():
+        print(f"  {name:28s} {metrics['seconds']:8.3f}s  "
+              f"{metrics['ns_per_op']:12.1f} ns/op  "
+              f"calibrated {metrics['calibrated']:10.2f}")
+
+    baseline = _load_baseline(args.quick)
+    document = {
+        "schema": 1,
+        "mode": mode,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": results,
+        "pre_optimization_baseline": baseline,
+        "speedup_vs_pre_optimization": _speedups(results, baseline),
+    }
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {args.output}")
+    end_to_end = document["speedup_vs_pre_optimization"].get(
+        "end_to_end_table2_fig7")
+    if end_to_end is not None:
+        print(f"end-to-end table2+fig7 speedup vs pre-optimization "
+              f"baseline: {end_to_end:.2f}x")
+
+    if args.check is not None:
+        return _check(results, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

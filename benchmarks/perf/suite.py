@@ -1,0 +1,299 @@
+"""The benchmark definitions: three hot-path micros plus end-to-end.
+
+Every benchmark reports raw seconds, an operation count, a normalized
+``ns_per_op``, and ``calibrated`` — ``ns_per_op`` divided by the ns/op
+of a fixed pure-Python calibration loop measured in the same process.
+The calibrated ratio cancels host speed to first order, which is what
+the CI regression gate compares (absolute nanoseconds differ between a
+laptop and a CI runner; the ratio of simulator work to plain Python
+work does not, to first order).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import table2
+from repro.experiments.runner import run_monitored
+from repro.hw.machine import Machine
+from repro.hw.presets import i7_920
+from repro.hw.pmu import Pmu
+from repro.kernel.config import KernelConfig
+from repro.kernel.hrtimer import HrTimer
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import ms, us
+from repro.sim.engine import EventQueue
+from repro.sim.rng import RngStreams
+from repro.tools.registry import create_tool
+from repro.workloads.base import ListProgram, MemOp, OpKind, Program, TraceBlock
+from repro.workloads.matmul import TripleLoopMatmul
+from repro.workloads.meltdown import MeltdownAttack, SecretPrinter
+
+FIG7_EVENTS = ("LLC_REFERENCES", "LLC_MISSES", "LOADS", "STORES")
+QUICK_SECRET = "Sq!mish"
+
+
+def _timed(fn: Callable[[], int]) -> Dict[str, float]:
+    """Run ``fn`` (returns its op count) with GC paused; report timing."""
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        ops = fn()
+        seconds = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "seconds": seconds,
+        "ops": float(ops),
+        "ns_per_op": seconds * 1e9 / max(ops, 1),
+    }
+
+
+def bench_calibration(iters: int = 2_000_000) -> Dict[str, float]:
+    """Fixed pure-Python spin loop: the host-speed yardstick."""
+
+    def loop() -> int:
+        total = 0
+        for value in range(iters):
+            total += value & 0xFF
+        return iters
+
+    result = _timed(loop)
+    result["checksum"] = 0.0
+    return result
+
+
+def bench_pmu_accumulate(iters: int) -> Dict[str, float]:
+    """``Pmu.accumulate`` with a realistic counter programming.
+
+    Three fixed counters plus four programmable events, alternating
+    user/kernel slices — the exact shape every execution slice feeds
+    the PMU.
+    """
+    pmu = Pmu()
+    pmu.enable_fixed(user=True, kernel=False)
+    for index, name in enumerate(("LOADS", "STORES", "BRANCHES",
+                                  "LLC_MISSES")):
+        pmu.program_counter(index, name, user=True, kernel=False)
+    pmu.global_enable()
+    user_counts = {
+        "INST_RETIRED": 5000.0, "CORE_CYCLES": 6000.0,
+        "REF_CYCLES": 6000.0, "LOADS": 1700.0, "STORES": 900.0,
+        "BRANCHES": 1100.0, "LLC_MISSES": 12.5, "FP_OPS": 300.0,
+    }
+    kernel_counts = {
+        "INST_RETIRED": 800.0, "CORE_CYCLES": 1000.0,
+        "REF_CYCLES": 1000.0, "LOADS": 260.0, "STORES": 140.0,
+        "BRANCHES": 90.0,
+    }
+
+    def loop() -> int:
+        accumulate = pmu.accumulate
+        for index in range(iters):
+            if index & 3:
+                accumulate(user_counts, "user")
+            else:
+                accumulate(kernel_counts, "kernel")
+        return iters
+
+    result = _timed(loop)
+    result["checksum"] = float(pmu.rdpmc(0))
+    return result
+
+
+def bench_event_queue(fires: int, streams: int = 16) -> Dict[str, float]:
+    """Periodic schedule/dispatch/re-arm with cancellation tombstones.
+
+    ``streams`` interleaved periodic timers re-arm themselves on every
+    fire (the HRTimer pattern); every fourth fire also schedules a
+    decoy event and immediately cancels it, so the lazy-cancellation
+    path is always in play.
+    """
+    queue = EventQueue()
+    state = {"fired": 0}
+    period = 100_000
+
+    def make_callback(stream: int) -> Callable[[int], None]:
+        def fire(when: int) -> None:
+            state["fired"] += 1
+            event = queue.schedule(when + period, fire, label=f"s{stream}")
+            if state["fired"] & 3 == 0:
+                decoy = queue.schedule(when + 3 * period, fire, label="decoy")
+                decoy.cancel()
+            _ = event
+        return fire
+
+    for stream in range(streams):
+        queue.schedule(1000 + stream, make_callback(stream), label=f"s{stream}")
+
+    def loop() -> int:
+        now = 0
+        while state["fired"] < fires:
+            next_time = queue.peek_time()
+            if next_time is None:  # pragma: no cover - queue never drains
+                break
+            now = next_time
+            queue.dispatch_due(now)
+        return state["fired"]
+
+    result = _timed(loop)
+    result["checksum"] = float(len(queue))
+    return result
+
+
+def bench_hrtimer_rearm(fires: int) -> Dict[str, float]:
+    """Kernel-level periodic HRTimer at 100 us driven by the run loop.
+
+    Exercises the full fire path: idle advance to the expiry, interrupt
+    entry/exit charging, jitter draw, ideal-grid re-arm.
+    """
+    machine = Machine(i7_920())
+    kernel = Kernel(machine, config=KernelConfig(), rng=RngStreams(1234))
+    count = {"fires": 0}
+
+    def tick(when: int) -> None:
+        count["fires"] += 1
+
+    timer = HrTimer(kernel, tick, label="bench")
+    timer.start(us(100))
+
+    def loop() -> int:
+        kernel.run(deadline=fires * us(100) + us(50))
+        return count["fires"]
+
+    result = _timed(loop)
+    timer.cancel()
+    result["checksum"] = float(count["fires"])
+    return result
+
+
+def _trace_program(rounds: int) -> Program:
+    """A trace mixing the patterns the case studies produce.
+
+    Per round: a streaming sweep (fresh lines, misses), a dense re-walk
+    of the same buffer (hits, with same-line runs), and a Flush+Reload
+    probe pass (page-spaced flushes then reloads) — the Fig. 6/7 mix.
+    """
+    line, page = 64, 4096
+    ops: List[MemOp] = []
+    for round_index in range(rounds):
+        stream_base = 0x1000_0000 + round_index * 512 * line
+        for index in range(512):
+            ops.append(MemOp(stream_base + index * line, OpKind.LOAD))
+        for index in range(1024):
+            # 4 accesses per line: same-line runs within the sweep.
+            ops.append(MemOp(stream_base + (index // 4) * line * 2
+                             + (index % 4) * 8, OpKind.LOAD))
+        probe_base = 0x4000_0000
+        for index in range(128):
+            ops.append(MemOp(probe_base + index * page, OpKind.FLUSH))
+        for index in range(128):
+            ops.append(MemOp(probe_base + index * page, OpKind.LOAD))
+    block = TraceBlock(ops=ops, instructions_per_op=3.0, event_scale=4.0,
+                       label="bench-trace")
+    return ListProgram("bench-trace", [block])
+
+
+def bench_trace_replay(rounds: int) -> Dict[str, float]:
+    """Core.execute over a mixed trace (stream + re-walk + flush/reload)."""
+    from repro.workloads.base import BlockCursor
+
+    machine = Machine(i7_920())
+    program = _trace_program(rounds)
+    total_ops = rounds * (512 + 1024 + 128 + 128)
+
+    def loop() -> int:
+        cursor = BlockCursor(program)
+        budget = us(100)
+        while not cursor.finished:
+            machine.core.execute(cursor, budget)
+        return total_ops
+
+    result = _timed(loop)
+    result["checksum"] = float(machine.cache.stats.accesses)
+    return result
+
+
+def bench_end_to_end(quick: bool) -> Dict[str, float]:
+    """The acceptance benchmark: a table2 population plus the fig7 pair.
+
+    Runs at ``jobs=1`` by construction — this measures single-process
+    hot-path speed, not pool fan-out.
+    """
+    if quick:
+        runs, n, secret = 2, 192, QUICK_SECRET
+    else:
+        runs, n, secret = 3, 384, MeltdownAttack().secret
+
+    def loop() -> int:
+        table2.run(runs=runs, n=n, period_ns=ms(10), seed=0, jobs=1)
+        for program in (SecretPrinter(secret), MeltdownAttack(secret)):
+            run_monitored(program, create_tool("k-leb"), events=FIG7_EVENTS,
+                          period_ns=us(100), seed=0)
+        run_monitored(SecretPrinter(secret), create_tool("perf-stat"),
+                      events=FIG7_EVENTS, period_ns=us(100), seed=0)
+        return 1
+
+    result = _timed(loop)
+    result["checksum"] = 0.0
+    return result
+
+
+_QUICK_SCALE = {
+    "pmu_accumulate": 20_000,
+    "event_queue": 40_000,
+    "hrtimer_rearm": 4_000,
+    "trace_replay": 60,
+}
+_FULL_SCALE = {
+    "pmu_accumulate": 100_000,
+    "event_queue": 200_000,
+    "hrtimer_rearm": 20_000,
+    "trace_replay": 300,
+}
+
+
+def _best_of(fn: Callable[[], Dict[str, float]],
+             repeats: int) -> Dict[str, float]:
+    """Re-run a benchmark and keep the fastest repeat.
+
+    Noise on a shared host is one-sided — GC pauses, scheduler
+    preemption, and cache pollution only ever *add* time — so the
+    minimum is the stable estimator, and what makes the 25 % CI gate
+    usable on short quick-mode runs.
+    """
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        result = fn()
+        if best is None or result["ns_per_op"] < best["ns_per_op"]:
+            best = result
+    assert best is not None
+    return best
+
+
+def run_suite(quick: bool = False,
+              repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run every benchmark; return name -> metrics (with ``calibrated``)."""
+    scale = _QUICK_SCALE if quick else _FULL_SCALE
+    results: Dict[str, Dict[str, float]] = {}
+    calibration = _best_of(bench_calibration, repeats)
+    results["calibration"] = calibration
+    results["pmu_accumulate"] = _best_of(
+        lambda: bench_pmu_accumulate(scale["pmu_accumulate"]), repeats)
+    results["event_queue"] = _best_of(
+        lambda: bench_event_queue(scale["event_queue"]), repeats)
+    results["hrtimer_rearm"] = _best_of(
+        lambda: bench_hrtimer_rearm(scale["hrtimer_rearm"]), repeats)
+    results["trace_replay"] = _best_of(
+        lambda: bench_trace_replay(scale["trace_replay"]), repeats)
+    results["end_to_end_table2_fig7"] = _best_of(
+        lambda: bench_end_to_end(quick), repeats)
+    calibration_ns = calibration["ns_per_op"]
+    for name, metrics in results.items():
+        metrics["calibrated"] = metrics["ns_per_op"] / calibration_ns
+    return results

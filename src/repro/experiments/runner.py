@@ -144,6 +144,31 @@ def summarize_trial(result: RunResult, *, trial: int = 0, seed: int = 0,
     )
 
 
+def _prepare_program_cached(tool: MonitoringTool, program: Program,
+                            events: Sequence[str],
+                            period_ns: int) -> Program:
+    """Memoize ``tool.prepare_program`` across trials of one run.
+
+    ``run_trials`` calls :func:`run_monitored` with the same
+    ``(program, events, period)`` N times; tools whose preparation is
+    trial-independent (``reusable_preparation``) keep a one-slot cache
+    on the tool instance, so the compiled program is built once per
+    run (and once per worker under ``jobs=N``).  The program is keyed
+    by identity — block streams are factories, so a prepared program
+    is not consumed by running it.
+    """
+    if not tool.reusable_preparation:
+        return tool.prepare_program(program, events, period_ns)
+    events_key = tuple(events)
+    entry = getattr(tool, "_prepared_cache", None)
+    if (entry is not None and entry[0] is program
+            and entry[1] == events_key and entry[2] == period_ns):
+        return entry[3]
+    prepared = tool.prepare_program(program, events, period_ns)
+    tool._prepared_cache = (program, events_key, period_ns, prepared)
+    return prepared
+
+
 def run_monitored(program: Program, tool: MonitoringTool,
                   events: Sequence[str] = DEFAULT_EVENTS,
                   period_ns: int = 10_000_000,
@@ -165,7 +190,7 @@ def run_monitored(program: Program, tool: MonitoringTool,
         faults=faults,
     )
     tool.check_compatible(kernel, program)
-    prepared = tool.prepare_program(program, events, period_ns)
+    prepared = _prepare_program_cached(tool, program, events, period_ns)
     victim = kernel.spawn(prepared, start=False)
     session = tool.attach(kernel, victim, events, period_ns)
     kernel.run_until_exit(victim, deadline=seconds(deadline_s))

@@ -161,8 +161,24 @@ class CacheHierarchy:
         self.memory_latency_cycles = memory_latency_cycles
         self.prefetch_next_line = prefetch_next_line
         self.stats = HierarchyStats()
+        # Pre-seed the stats dicts so the hot paths can use a plain
+        # ``+= 1`` instead of get-or-default on every access.
+        for level in self.levels:
+            self.stats.hits[level.config.name] = 0
+            self.stats.misses[level.config.name] = 0
+        self.stats.misses["memory"] = 0
         self._llc = self.levels[-1]
         self._line_bytes = self.levels[0].config.line_bytes
+        # Flattened per-level geometry for the hot path: probing through
+        # these tuples avoids the chain of attribute loads per access.
+        # Levels are fixed after construction (flush_all clears the set
+        # dicts in place), so this never goes stale.
+        self._descriptors = tuple(
+            (level, level._line_shift, level._set_mask, level._tag_shift,
+             level._sets, level.config.ways, level.config.name)
+            for level in self.levels
+        )
+        self._num_levels = len(self.levels)
 
     def _prefetch(self, address: int) -> None:
         """Fill ``address``'s line into every level (no latency charged
@@ -208,16 +224,15 @@ class CacheHierarchy:
         if hit_level is not None:
             latency = hit_level.config.hit_latency_cycles
             name: Optional[str] = hit_level.config.name
-            self.stats.hits[name] = self.stats.hits.get(name, 0) + 1
+            self.stats.hits[name] += 1
         else:
             latency = self.memory_latency_cycles
             name = None
             events["LLC_MISSES"] = 1.0
-            self.stats.misses["memory"] = self.stats.misses.get("memory", 0) + 1
+            self.stats.misses["memory"] += 1
         for level in missed_levels:
             level.fill(address)
-            key = level.config.name
-            self.stats.misses[key] = self.stats.misses.get(key, 0) + 1
+            self.stats.misses[level.config.name] += 1
         if name is None and self.prefetch_next_line:
             self._prefetch(address + self._line_bytes)
         return AccessResult(hit_level=name, latency_cycles=latency, events=events)
@@ -233,37 +248,49 @@ class CacheHierarchy:
         """
         stats = self.stats
         stats.accesses += 1
-        levels = self.levels
-        hit_index = len(levels)
-        for index, level in enumerate(levels):
-            line = address >> level._line_shift
-            set_index = line & level._set_mask
-            tag = line >> level._tag_shift
-            entries = level._sets[set_index]
+        descriptors = self._descriptors
+        num_levels = self._num_levels
+        hit_index = num_levels
+        index = 0
+        for level, line_shift, set_mask, tag_shift, sets, _ways, _name in \
+                descriptors:
+            line = address >> line_shift
+            entries = sets[line & set_mask]
+            tag = line >> tag_shift
             if tag in entries:
                 entries.move_to_end(tag)
                 level.hits += 1
                 hit_index = index
                 break
             level.misses += 1
-        if hit_index < len(levels):
-            name = levels[hit_index].config.name
-            stats.hits[name] = stats.hits.get(name, 0) + 1
+            index += 1
+        misses = stats.misses
+        if hit_index < num_levels:
+            stats.hits[descriptors[hit_index][6]] += 1
         else:
-            stats.misses["memory"] = stats.misses.get("memory", 0) + 1
-        for level in levels[:hit_index]:
-            level.fill(address)
-            key = level.config.name
-            stats.misses[key] = stats.misses.get(key, 0) + 1
-        if hit_index == len(levels) and self.prefetch_next_line:
+            misses["memory"] += 1
+        for _level, line_shift, set_mask, tag_shift, sets, ways, name in \
+                descriptors[:hit_index]:
+            line = address >> line_shift
+            entries = sets[line & set_mask]
+            # The tag missed this level above, so the containment check
+            # in CacheLevel.fill is settled: evict straight away if the
+            # set is full, and a fresh insert is already MRU.
+            if len(entries) >= ways:
+                entries.popitem(last=False)
+            entries[line >> tag_shift] = True
+            misses[name] += 1
+        if hit_index == num_levels and self.prefetch_next_line:
             self._prefetch(address + self._line_bytes)
         return hit_index
 
     def clflush(self, address: int) -> None:
         """Flush one line from every level (the Flush+Reload primitive)."""
         self.stats.flushes += 1
-        for level in self.levels:
-            level.invalidate(address)
+        for _level, line_shift, set_mask, tag_shift, sets, _ways, _name in \
+                self._descriptors:
+            line = address >> line_shift
+            sets[line & set_mask].pop(line >> tag_shift, None)
 
     def contains(self, address: int) -> Optional[str]:
         """Name of the first level holding ``address`` (non-perturbing)."""

@@ -56,6 +56,11 @@ class MsrFile:
 
     def __init__(self) -> None:
         self._regs: Dict[int, int] = {int(address): 0 for address in MSR}
+        # Write-generation counter.  Consumers that compile derived
+        # state from register contents (the PMU's accumulation plan)
+        # cache it keyed on this version and recompile only when some
+        # register actually changed.
+        self.version = 0
 
     def read(self, address: int) -> int:
         """``rdmsr`` — read a 64-bit value."""
@@ -70,6 +75,7 @@ class MsrFile:
         if key not in self._regs:
             raise MSRError(f"wrmsr to undefined MSR {key:#x}")
         self._regs[key] = int(value) & _MASK_64
+        self.version += 1
 
     def set_bits(self, address: int, mask: int) -> None:
         """Read-modify-write OR of ``mask`` into the register."""

@@ -76,6 +76,15 @@ class Pmu:
         # Overflow status per counter index: programmable 0..3 then
         # fixed 32..34, matching IA32_PERF_GLOBAL_STATUS bit layout.
         self._pending_overflow: List[int] = []
+        # Compiled accumulation plan, keyed on the MSR file's write
+        # generation: event name -> [(is_fixed, counter index)] for each
+        # privilege ring.  -1 forces a compile on first use.
+        self._plan_version = -1
+        self._plan_user: Dict[str, List[Tuple[bool, int]]] = {}
+        self._plan_kernel: Dict[str, List[Tuple[bool, int]]] = {}
+        self._counter_names: Tuple[Optional[str], ...] = (None,) * NUM_PROGRAMMABLE
+        self._pmi_counters: frozenset = frozenset()
+        self._counting = False
 
     # ------------------------------------------------------------------
     # Register interface (what drivers use)
@@ -181,6 +190,60 @@ class Pmu:
     # ------------------------------------------------------------------
     # Count delivery (called by the simulated core)
     # ------------------------------------------------------------------
+    def _compile_plan(self) -> None:
+        """Decode the control registers into per-privilege lookup plans.
+
+        ``accumulate`` runs once per execution slice — hundreds of
+        thousands of times per experiment — while the registers change
+        only when a tool reprograms the PMU.  The plan maps event name
+        directly to the counters that count it in each ring, so the hot
+        path is a dict lookup plus float adds.  The plan is keyed on
+        ``MsrFile.version`` and recompiled on any register write.
+        """
+        msrs = self.msrs
+        version = msrs.version
+        global_ctrl = msrs.read(MSR.IA32_PERF_GLOBAL_CTRL)
+        fixed_ctrl = msrs.read(MSR.IA32_FIXED_CTR_CTRL)
+        plan_user: Dict[str, List[Tuple[bool, int]]] = {}
+        plan_kernel: Dict[str, List[Tuple[bool, int]]] = {}
+
+        for index, event_name in enumerate(ev.FIXED_EVENTS):
+            if not global_ctrl & (1 << (32 + index)):
+                continue
+            field = (fixed_ctrl >> (4 * index)) & 0b11
+            if field & 0b10:
+                plan_user.setdefault(event_name, []).append((True, index))
+            if field & 0b01:
+                plan_kernel.setdefault(event_name, []).append((True, index))
+
+        names: List[Optional[str]] = []
+        pmi: List[int] = []
+        for index in range(NUM_PROGRAMMABLE):
+            evtsel = msrs.read(_EVTSEL_MSRS[index])
+            name: Optional[str] = None
+            if evtsel & EVTSEL_EN:
+                code = evtsel & (EVTSEL_EVENT_MASK | EVTSEL_UMASK_MASK)
+                try:
+                    name = ev.lookup_code(code).name
+                except PMUError:
+                    name = None  # unknown code: counter counts nothing
+            names.append(name)
+            if name is None or not global_ctrl & (1 << index):
+                continue
+            if evtsel & EVTSEL_INT:
+                pmi.append(index)
+            if evtsel & EVTSEL_USR:
+                plan_user.setdefault(name, []).append((False, index))
+            if evtsel & EVTSEL_OS:
+                plan_kernel.setdefault(name, []).append((False, index))
+
+        self._plan_user = plan_user
+        self._plan_kernel = plan_kernel
+        self._counter_names = tuple(names)
+        self._pmi_counters = frozenset(pmi)
+        self._counting = global_ctrl != 0
+        self._plan_version = version
+
     def accumulate(self, counts: Mapping[str, float], privilege: str) -> None:
         """Add event occurrences observed during an execution slice.
 
@@ -189,87 +252,86 @@ class Pmu:
             privilege: ``"user"`` or ``"kernel"`` — which ring the slice
                 executed in; counters whose privilege mask excludes the
                 ring ignore the contribution.
+
+        Bit-identical to walking the registers per call: each counter is
+        programmed with exactly one event, so it receives at most one
+        add per call, and the deferred overflow sweep visits counters in
+        the same canonical order (fixed 32..34, programmable 0..3) the
+        register walk did.
         """
-        if privilege not in ("user", "kernel"):
+        if privilege == "user":
+            plan = self._plan_user
+        elif privilege == "kernel":
+            plan = self._plan_kernel
+        else:
             raise PMUError(f"invalid privilege {privilege!r}")
-        global_ctrl = self.msrs.read(MSR.IA32_PERF_GLOBAL_CTRL)
-        if global_ctrl == 0 or not counts:
+        if self._plan_version != self.msrs.version:
+            self._compile_plan()
+            plan = self._plan_user if privilege == "user" else self._plan_kernel
+        if not self._counting or not counts:
             return
-        overflowed: List[int] = []
 
-        fixed_ctrl = self.msrs.read(MSR.IA32_FIXED_CTR_CTRL)
-        for index, event_name in enumerate(ev.FIXED_EVENTS):
-            if not global_ctrl & (1 << (32 + index)):
+        fixed = self._fixed
+        pmc = self._pmc
+        wrapped = False
+        for name, amount in counts.items():
+            targets = plan.get(name)
+            if targets is None or amount <= 0.0:
                 continue
-            field = (fixed_ctrl >> (4 * index)) & 0b11
-            counted = (field & 0b10 and privilege == "user") or (
-                field & 0b01 and privilege == "kernel"
-            )
-            if not counted:
-                continue
-            amount = counts.get(event_name, 0.0)
-            if amount <= 0.0:
-                continue
-            self._fixed[index] += amount
-            if self._fixed[index] >= _COUNTER_WRAP:
-                self._fixed[index] %= _COUNTER_WRAP
-                overflowed.append(32 + index)
-
-        for index in range(NUM_PROGRAMMABLE):
-            if not global_ctrl & (1 << index):
-                continue
-            evtsel = self.msrs.read(_EVTSEL_MSRS[index])
-            if not evtsel & EVTSEL_EN:
-                continue
-            counted = (evtsel & EVTSEL_USR and privilege == "user") or (
-                evtsel & EVTSEL_OS and privilege == "kernel"
-            )
-            if not counted:
-                continue
-            code = evtsel & (EVTSEL_EVENT_MASK | EVTSEL_UMASK_MASK)
-            try:
-                event = ev.lookup_code(code)
-            except PMUError:
-                continue  # counter programmed with an unknown code: counts nothing
-            amount = counts.get(event.name, 0.0)
-            if amount <= 0.0:
-                continue
-            self._pmc[index] += amount
-            if self._pmc[index] >= _COUNTER_WRAP:
-                wraps = int(self._pmc[index] // _COUNTER_WRAP)
-                self._pmc[index] %= _COUNTER_WRAP
-                overflowed.append(index)
-                if evtsel & EVTSEL_INT:
-                    # One PMI per wrap: a coarse execution slice may
-                    # cross several sampling periods at once; the
-                    # interrupts coalesce in delivery time (skid) but
-                    # not in count, keeping period-based estimates true.
-                    self._pending_overflow.extend([index] * wraps)
-
-        if overflowed:
-            status = self.msrs.read(MSR.IA32_PERF_GLOBAL_STATUS)
-            for bit in overflowed:
-                status |= 1 << bit
-            self.msrs.write(MSR.IA32_PERF_GLOBAL_STATUS, status)
+            for is_fixed, index in targets:
+                if is_fixed:
+                    value = fixed[index] + amount
+                    fixed[index] = value
+                else:
+                    value = pmc[index] + amount
+                    pmc[index] = value
+                if value >= _COUNTER_WRAP:
+                    wrapped = True
+        if wrapped:
+            self._sweep_overflow()
         if self._pending_overflow and self._overflow_handler is not None:
             pending, self._pending_overflow = self._pending_overflow, []
             # PMI delivery happens at slice granularity — the analogue of
             # real PMU interrupt skid.
             self._overflow_handler(pending)
 
+    def _sweep_overflow(self) -> None:
+        """Wrap any counter that crossed 2^48 and latch status bits."""
+        overflowed: List[int] = []
+        fixed = self._fixed
+        for index in range(NUM_FIXED):
+            if fixed[index] >= _COUNTER_WRAP:
+                fixed[index] %= _COUNTER_WRAP
+                overflowed.append(32 + index)
+        pmc = self._pmc
+        for index in range(NUM_PROGRAMMABLE):
+            value = pmc[index]
+            if value >= _COUNTER_WRAP:
+                wraps = int(value // _COUNTER_WRAP)
+                pmc[index] = value % _COUNTER_WRAP
+                overflowed.append(index)
+                if index in self._pmi_counters:
+                    # One PMI per wrap: a coarse execution slice may
+                    # cross several sampling periods at once; the
+                    # interrupts coalesce in delivery time (skid) but
+                    # not in count, keeping period-based estimates true.
+                    self._pending_overflow.extend([index] * wraps)
+        if overflowed:
+            status = self.msrs.read(MSR.IA32_PERF_GLOBAL_STATUS)
+            for bit in overflowed:
+                status |= 1 << bit
+            self.msrs.write(MSR.IA32_PERF_GLOBAL_STATUS, status)
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     def counter_event(self, index: int) -> Optional[str]:
         """Event name currently programmed on programmable counter ``index``."""
-        evtsel = self.msrs.read(_EVTSEL_MSRS[index])
-        if not evtsel & EVTSEL_EN:
-            return None
-        code = evtsel & (EVTSEL_EVENT_MASK | EVTSEL_UMASK_MASK)
-        try:
-            return ev.lookup_code(code).name
-        except PMUError:
-            return None
+        if self._plan_version != self.msrs.version:
+            self._compile_plan()
+        if not 0 <= index < NUM_PROGRAMMABLE:
+            raise IndexError(f"no programmable counter {index}")
+        return self._counter_names[index]
 
     def snapshot(self, timestamp: int) -> CounterSnapshot:
         """Read every counter at once (what a sampling interrupt does)."""

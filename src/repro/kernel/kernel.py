@@ -54,6 +54,8 @@ class Kernel:
         # stock kernel has none — that is K-LEB's deployment advantage).
         self.patches = set(patches or [])
         self.syscall_counts: Counter = Counter()
+        # Memoized duration -> event-count dicts for charge_kernel_time.
+        self._charge_cache: Dict[int, Dict[str, float]] = {}
         self._next_pid = 1000
         self._wake_rng = self.rng.stream("wakeup-latency")
         self._noise_rng = self.rng.stream("os-noise")
@@ -151,19 +153,33 @@ class Kernel:
     # Time charging (kernel-privilege work)
     # ------------------------------------------------------------------
     def charge_kernel_time(self, duration_ns: int) -> None:
-        """Advance the clock by kernel work, counted at ring 0."""
+        """Advance the clock by kernel work, counted at ring 0.
+
+        The event mix for a given duration is a pure function of the
+        (immutable) kernel config and core timing, and the durations
+        are a handful of fixed costs (IRQ entry/exit, context switch,
+        syscall entry) charged hundreds of thousands of times per run —
+        so the computed dicts are memoized per duration.  The cache is
+        bounded: randomized durations (OS noise bursts) stop being
+        cached past the cap rather than growing without limit.
+        """
         if duration_ns <= 0:
             return
-        core = self.machine.core
-        cycles = core.ns_to_cycles(duration_ns)
-        instructions = cycles / self.config.kernel_work_cpi
-        events = {
-            name: rate * instructions
-            for name, rate in self.config.kernel_work_rates.items()
-        }
-        events["INST_RETIRED"] = instructions
-        events["CORE_CYCLES"] = cycles
-        events["REF_CYCLES"] = cycles * core.tsc_ratio
+        cache = self._charge_cache
+        events = cache.get(duration_ns)
+        if events is None:
+            core = self.machine.core
+            cycles = core.ns_to_cycles(duration_ns)
+            instructions = cycles / self.config.kernel_work_cpi
+            events = {
+                name: rate * instructions
+                for name, rate in self.config.kernel_work_rates.items()
+            }
+            events["INST_RETIRED"] = instructions
+            events["CORE_CYCLES"] = cycles
+            events["REF_CYCLES"] = cycles * core.tsc_ratio
+            if len(cache) < 1024:
+                cache[duration_ns] = events
         self.pmu.accumulate(events, "kernel")
         self.clock.advance(duration_ns)
 
@@ -279,7 +295,10 @@ class Kernel:
                 slice_end = min(slice_end, deadline)
             budget = slice_end - self.now
             if budget <= 0:
-                self._handle_boundary()
+                # Nothing touched the event queue since the peek above,
+                # so the boundary handler can reuse its result instead
+                # of peeking again.
+                self._handle_boundary(next_event)
                 continue
             result = self.machine.core.execute(current.cursor, budget)
             if result.consumed_ns == 0 and result.stop is ExecStop.BUDGET:
@@ -310,13 +329,17 @@ class Kernel:
                 f"pid {task.pid} ({task.name}) did not exit by deadline"
             )
 
-    def _handle_boundary(self) -> None:
-        """Zero-budget slice: quantum and/or event boundary is *now*."""
+    def _handle_boundary(self, next_event: Optional[int]) -> None:
+        """Zero-budget slice: quantum and/or event boundary is *now*.
+
+        ``next_event`` is the caller's already-computed ``peek_time()``
+        result — the run loop peeks once per iteration and threads the
+        value through.
+        """
         if self.scheduler.should_preempt(self.now):
             self._charge_context_switch()
             self.scheduler.deschedule_current(TaskState.RUNNABLE)
         else:
-            next_event = self.events.peek_time()
             if next_event is None or next_event > self.now:
                 # Alone on the CPU with the quantum spent: new slice.
                 self.scheduler.refresh_slice(self.now)

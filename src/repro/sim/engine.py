@@ -6,25 +6,28 @@ uninterrupted, then dispatches every event that has come due.
 
 Events may be cancelled; cancellation is lazy (the entry stays in the
 heap but is skipped at dispatch), which keeps both operations O(log n).
+Heap entries are plain ``(when, seq, event)`` tuples — comparison stays
+in C and never looks at the event, and the monotonically increasing
+``seq`` preserves FIFO dispatch order for events scheduled at the same
+time.  Cancelled tombstones are compacted away adaptively once they
+outnumber the live entries (see :meth:`EventQueue._maybe_compact`).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 EventCallback = Callable[[int], None]
 
-
-@dataclass(order=True)
-class _HeapEntry:
-    when: int
-    seq: int
-    event: "ScheduledEvent" = field(compare=False)
+# Compaction threshold: rebuilding the heap is O(n), so it only pays
+# once the heap carries a meaningful number of tombstones AND they are
+# the majority of entries.  Below the floor the walk-and-skip cost of
+# lazy cancellation is negligible.
+_COMPACT_MIN_DEAD = 64
 
 
 class ScheduledEvent:
@@ -65,19 +68,39 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[_HeapEntry] = []
+        self._heap: List[Tuple[int, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._dispatching = False
         # Live (non-cancelled) entry count, maintained on schedule,
         # cancel, and dispatch so len() is O(1) — the run loop queries
         # it on every iteration.
         self._live = 0
+        # Cancelled entries still sitting in the heap (tombstones).
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
 
     def _note_cancelled(self) -> None:
         self._live -= 1
+        self._dead += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once tombstones dominate it.
+
+        Dropping dead entries and re-heapifying is deterministic: the
+        surviving ``(when, seq)`` keys form a total order, so dispatch
+        order is identical with or without the rebuild.  Skipped while
+        a dispatch is walking the heap.
+        """
+        heap = self._heap
+        if (self._dead < _COMPACT_MIN_DEAD or self._dispatching
+                or self._dead * 2 <= len(heap)):
+            return
+        self._heap = [entry for entry in heap if not entry[2]._cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def schedule(self, when: int, callback: EventCallback,
                  label: str = "event") -> ScheduledEvent:
@@ -90,16 +113,20 @@ class EventQueue:
         if when < 0:
             raise SimulationError(f"cannot schedule event at negative time {when}")
         event = ScheduledEvent(when, callback, label, queue=self)
-        heapq.heappush(self._heap, _HeapEntry(when, next(self._seq), event))
+        heapq.heappush(self._heap, (when, next(self._seq), event))
         self._live += 1
         return event
 
     def peek_time(self) -> Optional[int]:
         """Fire time of the earliest pending event, or None when empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0].when
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if not entry[2]._cancelled:
+                return entry[0]
+            heapq.heappop(heap)
+            self._dead -= 1
+        return None
 
     def dispatch_due(self, now: int) -> int:
         """Fire every pending event with ``when <= now``.
@@ -113,13 +140,20 @@ class EventQueue:
             raise SimulationError("re-entrant event dispatch")
         self._dispatching = True
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap and self._heap[0].when <= now:
-                entry = heapq.heappop(self._heap)
-                if entry.event.cancelled:
+            while heap and heap[0][0] <= now:
+                when, _seq, event = heappop(heap)
+                if event._cancelled:
+                    self._dead -= 1
                     continue
                 self._live -= 1
-                entry.event.callback(entry.when)
+                # Detach before firing: the entry has left the heap, so
+                # a later cancel() on the handle must not touch the
+                # live/tombstone counters.
+                event._queue = None
+                event.callback(when)
                 fired += 1
         finally:
             self._dispatching = False
@@ -134,9 +168,12 @@ class EventQueue:
         never fire.
         """
         for entry in self._heap:
-            entry.event.cancel()
+            entry[2].cancel()
         self._heap.clear()
+        self._dead = 0
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1

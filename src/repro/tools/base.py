@@ -77,6 +77,11 @@ class MonitoringTool:
     required_patches: Sequence[str] = ()   # LiMiT: kernel patch
     kernel_version: Optional[str] = None   # pin to a specific kernel release
     min_period_ns: int = 0            # sampling-rate floor (perf: 10 ms)
+    # Whether prepare_program's result may be reused across trials of
+    # the same (program, events, period).  Instrumentation tools whose
+    # prepared program embeds a mutable per-trial runtime set this
+    # False; the runner then re-prepares every trial.
+    reusable_preparation = True
 
     def check_compatible(self, kernel: Kernel, program: Program) -> None:
         """Raise :class:`ToolUnsupportedError` if this pairing cannot run."""

@@ -160,6 +160,9 @@ class DbiTool(MonitoringTool):
 
     name = "dbi"
     requires_source = False  # binaries are enough — that's DBI's point
+    # The translated program carries a live DbiRuntime consumed by
+    # attach(); it must be rebuilt for every trial.
+    reusable_preparation = False
 
     def prepare_program(self, program: Program, events: Sequence[str],
                         period_ns: int) -> DbiInstrumentedProgram:

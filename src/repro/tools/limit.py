@@ -178,6 +178,9 @@ class LimitTool(MonitoringTool):
     name = "limit"
     requires_source = True
     required_patches = (LIMIT_PATCH,)
+    # The instrumented program carries a mutable runtime (gate, cost
+    # factor, samples) that attach() rebinds per trial.
+    reusable_preparation = False
     # The patch only exists for this kernel line (paper §IV preamble:
     # "The LiMiT patch is running on Ubuntu 12.04 with 2.6.32").
     kernel_version = "2.6.32"

@@ -176,6 +176,9 @@ class PapiTool(MonitoringTool):
 
     name = "papi"
     requires_source = True
+    # The instrumented program carries a mutable runtime (gate, cost
+    # factor, samples) that attach() rebinds per trial.
+    reusable_preparation = False
 
     def __init__(self, frequency_hint_hz: float = _DEFAULT_FREQUENCY_HZ) -> None:
         self.frequency_hint_hz = frequency_hint_hz

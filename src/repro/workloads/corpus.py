@@ -137,6 +137,17 @@ class CorpusWorkload(Program):
         self.instructions = (instructions if instructions > 0
                              else profile.default_instructions)
         self.chunk_instructions = chunk_instructions
+        # Chunk plan computed once: blocks() stamps a fresh RateBlock
+        # per chunk each run (the cursor consumes instruction counts in
+        # place, so the block objects themselves cannot be shared), but
+        # the sizes never change between trials.
+        sizes: List[float] = []
+        remaining = self.instructions
+        while remaining > 0:
+            take = min(remaining, self.chunk_instructions)
+            sizes.append(take)
+            remaining -= take
+        self._chunk_sizes: Tuple[float, ...] = tuple(sizes)
 
     @property
     def metadata(self) -> Dict[str, float]:
@@ -144,14 +155,16 @@ class CorpusWorkload(Program):
                 "cpi_hint": self.profile.cpi}
 
     def blocks(self) -> Iterator[Block]:
-        remaining = self.instructions
-        while remaining > 0:
-            take = min(remaining, self.chunk_instructions)
+        profile = self.profile
+        # Execution never mutates a block's rates (only the instruction
+        # count), so every chunk can alias the profile's dict instead of
+        # copying it — long corpus runs yield thousands of chunks.
+        rates = profile.rates
+        for take in self._chunk_sizes:
             yield RateBlock(instructions=take,
-                            rates=dict(self.profile.rates),
-                            cpi=self.profile.cpi,
-                            label=self.profile.name)
-            remaining -= take
+                            rates=rates,
+                            cpi=profile.cpi,
+                            label=profile.name)
 
 
 def corpus_programs(instructions: float = 0.0) -> List[CorpusWorkload]:

@@ -20,7 +20,8 @@ spaced one page apart as in the public PoC (to defeat the prefetcher).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
 
 from repro.workloads.base import Block, MemOp, OpKind, Program, RateBlock, TraceBlock
 
@@ -45,6 +46,41 @@ _ATTACK_TRACE_IPO = 4.0
 _ATTACK_LOGIC_INSTR_PER_CHAR = 1.5e5
 
 DEFAULT_SECRET = "SqueamishOssifrage!!"
+
+
+# Op lists are pure functions of their address parameters, and trace
+# execution never mutates them (the cursor only advances an index), so
+# they are built once and shared across blocks() iterations and trials.
+# A 20-char secret otherwise rebuilds ~60k MemOps per trial.
+@lru_cache(maxsize=None)
+def _victim_scan_ops(stream_base: int, index: int) -> Tuple[MemOp, ...]:
+    """Streaming + reuse trace for victim character ``index``."""
+    ops: List[MemOp] = []
+    stream_start = stream_base + index * _VICTIM_STREAM_OPS * _LINE
+    for op_index in range(_VICTIM_STREAM_OPS):
+        ops.append(MemOp(stream_start + op_index * _LINE, OpKind.LOAD))
+    if index >= 2:
+        reuse_start = stream_base + (index - 2) * _VICTIM_STREAM_OPS * _LINE
+        for op_index in range(_VICTIM_REUSE_OPS):
+            ops.append(MemOp(reuse_start + op_index * _LINE, OpKind.LOAD))
+    return tuple(ops)
+
+
+@lru_cache(maxsize=None)
+def _flush_reload_ops(probe_base: int, stride: int,
+                      byte_value: int) -> Tuple[MemOp, ...]:
+    """One Flush+Reload round: flush all probes, transient access,
+    reload all probes (one hit — the leaked byte — 255 misses)."""
+    ops: List[MemOp] = []
+    for line in range(_PROBE_LINES):
+        ops.append(MemOp(probe_base + line * stride, OpKind.FLUSH))
+    # Transient out-of-order access: the secret byte indexes the
+    # probe array; the architectural exception is suppressed but the
+    # cache fill persists — the heart of Meltdown.
+    ops.append(MemOp(probe_base + byte_value * stride, OpKind.LOAD))
+    for line in range(_PROBE_LINES):
+        ops.append(MemOp(probe_base + line * stride, OpKind.LOAD))
+    return tuple(ops)
 
 
 class SecretPrinter(Program):
@@ -73,15 +109,8 @@ class SecretPrinter(Program):
             cpi=1.0,
             label=f"print-char-{index}",
         )
-        ops: List[MemOp] = []
-        stream_start = self.stream_base + index * _VICTIM_STREAM_OPS * _LINE
-        for op_index in range(_VICTIM_STREAM_OPS):
-            ops.append(MemOp(stream_start + op_index * _LINE, OpKind.LOAD))
-        if index >= 2:
-            reuse_start = self.stream_base + (index - 2) * _VICTIM_STREAM_OPS * _LINE
-            for op_index in range(_VICTIM_REUSE_OPS):
-                ops.append(MemOp(reuse_start + op_index * _LINE, OpKind.LOAD))
-        yield TraceBlock(ops=ops, instructions_per_op=_VICTIM_TRACE_IPO,
+        yield TraceBlock(ops=_victim_scan_ops(self.stream_base, index),
+                         instructions_per_op=_VICTIM_TRACE_IPO,
                          label=f"buffer-scan-{index}")
 
     def blocks(self) -> Iterator[Block]:
@@ -116,19 +145,9 @@ class MeltdownAttack(SecretPrinter):
         return "".join(self._recovered)
 
     def _flush_reload_round(self, byte_value: int) -> List[MemOp]:
-        """One Flush+Reload round: flush all probes, transient access,
-        reload all probes (one hit — the leaked byte — 255 misses)."""
-        stride = self.probe_stride
-        ops: List[MemOp] = []
-        for line in range(_PROBE_LINES):
-            ops.append(MemOp(self.probe_base + line * stride, OpKind.FLUSH))
-        # Transient out-of-order access: the secret byte indexes the
-        # probe array; the architectural exception is suppressed but the
-        # cache fill persists — the heart of Meltdown.
-        ops.append(MemOp(self.probe_base + byte_value * stride, OpKind.LOAD))
-        for line in range(_PROBE_LINES):
-            ops.append(MemOp(self.probe_base + line * stride, OpKind.LOAD))
-        return ops
+        """One Flush+Reload round (see :func:`_flush_reload_ops`)."""
+        return list(_flush_reload_ops(self.probe_base, self.probe_stride,
+                                      byte_value))
 
     def blocks(self) -> Iterator[Block]:
         self._recovered = []
@@ -146,7 +165,8 @@ class MeltdownAttack(SecretPrinter):
                 cpi=1.0,
                 label=f"attack-logic-{index}",
             )
-            round_ops = self._flush_reload_round(ord(char) & 0xFF)
+            round_ops = _flush_reload_ops(self.probe_base, self.probe_stride,
+                                          ord(char) & 0xFF)
             # Reuse the same op objects each round: the access pattern
             # repeats exactly, and trace construction cost matters.
             ops = round_ops * self.rounds_per_char

@@ -144,8 +144,8 @@ class TestLiveCounter:
         handles[0].cancel()
         handles[3].cancel()
         queue.dispatch_due(15)            # fires 10 and 15; 5 was cancelled
-        expected = sum(1 for entry in queue._heap
-                       if not entry.event.cancelled)
+        expected = sum(1 for _when, _seq, event in queue._heap
+                       if not event.cancelled)
         assert len(queue) == expected == 1
 
 

@@ -1,0 +1,231 @@
+"""Golden-digest determinism gate for the hot-path optimizations.
+
+The simulator's hot loops (PMU accumulation, event-queue re-arm, trace
+replay) carry fast paths that are required to be **bit-identical** to
+the straightforward implementations.  This test pins that contract:
+scaled-down versions of the paper's table2 / fig7 / fig9 scenarios —
+plus a fault-injected population, whose ledger must also be stable —
+are run with fixed seeds and their ``ToolReport`` JSON is hashed with
+SHA-256 against digests recorded in ``tests/data/golden_digests.json``.
+
+The recorded digests were generated *before* the fast paths landed, so
+a match proves the optimized code produces byte-for-byte the same
+reports the reference implementation did.
+
+Regenerate (only when a deliberate semantic change occurs)::
+
+    PYTHONPATH=src python tests/test_golden_digests.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.experiments import fig9
+from repro.experiments.runner import run_monitored, run_trials
+from repro.faults import FaultPlan, RunLedger
+from repro.sim.clock import ms, us
+from repro.tools.base import ToolReport
+from repro.tools.registry import create_tool
+from repro.workloads.matmul import TripleLoopMatmul
+from repro.workloads.meltdown import MeltdownAttack, SecretPrinter
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_digests.json"
+
+# Scaled-down scenario parameters: small enough for the tier-1 gate,
+# large enough to exercise every hot path (sliced rate blocks, trace
+# replay with flushes, 100 us re-arm, instrumented tools, faults).
+_TABLE2_TOOLS = ("k-leb", "perf-stat", "perf-record", "papi", "limit")
+_TABLE2_EVENTS = ("LOADS", "STORES", "BRANCHES", "ARITH_MUL")
+_FIG7_EVENTS = ("LLC_REFERENCES", "LLC_MISSES", "LOADS", "STORES")
+_FIG7_SECRET = "Sq!mish"
+_FAULT_SPEC = ("seed=9,timer_jitter=0.3,timer_miss=0.15,ioctl=0.2,"
+               "read=0.1,squeeze=0.3,starve=0.3,pmu_wrap=100000,"
+               "crash=0.3,timeout=0.2")
+
+
+def report_document(report: ToolReport) -> Dict:
+    """The lossless JSON document for a report (mirrors ``repro.io``)."""
+    return {
+        "tool": report.tool,
+        "events": list(report.events),
+        "period_ns": report.period_ns,
+        "victim_wall_ns": report.victim_wall_ns,
+        "victim_pid": report.victim_pid,
+        "totals": dict(report.totals),
+        "metadata": dict(report.metadata),
+        "samples": [
+            {"timestamp": sample.timestamp, "values": dict(sample.values)}
+            for sample in report.samples
+        ],
+    }
+
+
+def _sha256(document) -> str:
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def digest_report(report: ToolReport) -> str:
+    return _sha256(report_document(report))
+
+
+def compute_table2_digests() -> Dict[str, str]:
+    """Per-tool single-trial digests of the Table II recipe (matmul)."""
+    digests: Dict[str, str] = {}
+    for name in _TABLE2_TOOLS:
+        result = run_monitored(
+            TripleLoopMatmul(192), create_tool(name),
+            events=_TABLE2_EVENTS, period_ns=ms(10), seed=11,
+        )
+        digests[f"table2/{name}"] = _sha256({
+            "report": report_document(result.report),
+            "wall_ns": result.wall_ns,
+            "cpu_ns": result.cpu_ns,
+        })
+    return digests
+
+
+def compute_fig7_digests() -> Dict[str, str]:
+    """Clean vs attack 100 us K-LEB series (the Fig. 7 recipe)."""
+    digests: Dict[str, str] = {}
+    for label, program in (("clean", SecretPrinter(_FIG7_SECRET)),
+                           ("attack", MeltdownAttack(_FIG7_SECRET))):
+        result = run_monitored(
+            program, create_tool("k-leb"), events=_FIG7_EVENTS,
+            period_ns=us(100), seed=7,
+        )
+        digests[f"fig7/{label}"] = _sha256({
+            "report": report_document(result.report),
+            "wall_ns": result.wall_ns,
+        })
+    return digests
+
+
+def compute_fig9_digests() -> Dict[str, str]:
+    """Cross-tool count-accuracy reports (the Fig. 9 recipe)."""
+    result = fig9.run(n=192, period_ns=ms(10), seed=3)
+    digests = {
+        f"fig9/{name}": digest_report(report)
+        for name, report in sorted(result.reports.items())
+    }
+    digests["fig9/matrix"] = _sha256(result.matrix)
+    return digests
+
+
+def compute_fault_digests() -> Dict[str, str]:
+    """Faulted population: summaries *and* the fault ledger must pin."""
+    ledger = RunLedger()
+    summaries = run_trials(
+        TripleLoopMatmul(128), create_tool("k-leb"), runs=4,
+        events=_TABLE2_EVENTS, period_ns=ms(10), base_seed=5,
+        faults=FaultPlan.parse(_FAULT_SPEC), fault_ledger=ledger,
+    )
+    summary_docs = [
+        {
+            "trial": summary.trial,
+            "seed": summary.seed,
+            "wall_ns": summary.wall_ns,
+            "cpu_ns": summary.cpu_ns,
+            "program_name": summary.program_name,
+            "program_metadata": dict(summary.program_metadata),
+            "scratch": dict(summary.scratch),
+            "report": report_document(summary.report),
+        }
+        for summary in summaries
+    ]
+    ledger_docs = [
+        {
+            "trial": entry.trial,
+            "seed": entry.seed,
+            "attempts": entry.attempts,
+            "quarantined": entry.quarantined,
+            "error": entry.error,
+            "records": [
+                {"time_ns": record.time_ns, "site": record.site,
+                 "kind": record.kind, "detail": record.detail}
+                for record in entry.records
+            ],
+        }
+        for entry in ledger.trials
+    ]
+    return {
+        "faults/summaries": _sha256(summary_docs),
+        "faults/ledger": _sha256(ledger_docs),
+    }
+
+
+def compute_all_digests() -> Dict[str, str]:
+    digests: Dict[str, str] = {}
+    digests.update(compute_table2_digests())
+    digests.update(compute_fig7_digests())
+    digests.update(compute_fig9_digests())
+    digests.update(compute_fault_digests())
+    return digests
+
+
+def _load_golden() -> Dict[str, str]:
+    return json.loads(GOLDEN_PATH.read_text())["digests"]
+
+
+@pytest.fixture(scope="module")
+def golden() -> Dict[str, str]:
+    if not GOLDEN_PATH.exists():  # pragma: no cover - repo invariant
+        pytest.fail(f"golden digest file missing: {GOLDEN_PATH}")
+    return _load_golden()
+
+
+def test_table2_digests_match_golden(golden):
+    computed = compute_table2_digests()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("table2/")}
+    assert computed == expected
+
+
+def test_fig7_digests_match_golden(golden):
+    computed = compute_fig7_digests()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("fig7/")}
+    assert computed == expected
+
+
+def test_fig9_digests_match_golden(golden):
+    computed = compute_fig9_digests()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("fig9/")}
+    assert computed == expected
+
+
+def test_fault_digests_match_golden(golden):
+    computed = compute_fault_digests()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("faults/")}
+    assert computed == expected
+
+
+def _regen() -> None:  # pragma: no cover - manual tool
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "note": ("SHA-256 digests of canonical report JSON for pinned-"
+                 "seed scenarios; generated by "
+                 "`python tests/test_golden_digests.py --regen` against "
+                 "the pre-optimization reference implementation."),
+        "digests": compute_all_digests(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(document, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {len(document['digests'])} digests to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -41,6 +41,23 @@ class TestJsonRoundTrip:
             assert restored.timestamp == original.timestamp
             assert restored.values == original.values
 
+    def test_compact_round_trip(self, report, tmp_path):
+        path = tmp_path / "compact.json"
+        save_report_json(report, path, compact=True)
+        loaded = load_report_json(path)
+        assert loaded.totals == report.totals
+        assert len(loaded.samples) == len(report.samples)
+        for original, restored in zip(report.samples, loaded.samples):
+            assert restored.timestamp == original.timestamp
+            assert restored.values == original.values
+
+    def test_compact_is_smaller(self, report, tmp_path):
+        pretty = tmp_path / "pretty.json"
+        compact = tmp_path / "compact.json"
+        save_report_json(report, pretty)
+        save_report_json(report, compact, compact=True)
+        assert compact.stat().st_size < pretty.stat().st_size
+
     def test_missing_file(self, tmp_path):
         with pytest.raises(ReportIOError):
             load_report_json(tmp_path / "nope.json")
