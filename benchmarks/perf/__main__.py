@@ -35,6 +35,13 @@ DEFAULT_OUTPUT = Path(__file__).parent.parent.parent / "BENCH_hotpath.json"
 CHECKED = ("pmu_accumulate", "event_queue", "hrtimer_rearm",
            "trace_replay", "end_to_end_table2_fig7")
 
+# Hard cap on the observability on/off ratio: full tracing+metrics may
+# slow the monitored end-to-end path by at most 15 %.  Unlike the
+# calibrated comparisons this is an absolute bound — both halves are
+# measured in the same process, so the ratio needs no committed
+# reference to be meaningful.
+OBS_OVERHEAD_CAP = 1.15
+
 
 def _load_baseline(quick: bool) -> Dict:
     if not BASELINE_PATH.exists():
@@ -76,6 +83,13 @@ def _check(current: Dict[str, Dict[str, float]], committed_path: Path,
               f"({regression:+7.1%}) {status}")
         if regression > tolerance:
             failures.append(name)
+    overhead = current.get("obs_overhead", {}).get("overhead_ratio")
+    if overhead is not None:
+        status = "REGRESSION" if overhead > OBS_OVERHEAD_CAP else "ok"
+        print(f"  {'obs_overhead':28s} on/off ratio "
+              f"{overhead:10.3f} (cap {OBS_OVERHEAD_CAP:.2f}) {status}")
+        if overhead > OBS_OVERHEAD_CAP:
+            failures.append("obs_overhead")
     if failures:
         print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
               f"{tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
@@ -114,6 +128,8 @@ def main(argv=None) -> int:
         print(f"  {name:28s} {metrics['seconds']:8.3f}s  "
               f"{metrics['ns_per_op']:12.1f} ns/op  "
               f"calibrated {metrics['calibrated']:10.2f}")
+    overhead = results["obs_overhead"]["overhead_ratio"]
+    print(f"  observability on/off overhead ratio: {overhead:.3f}")
 
     baseline = _load_baseline(args.quick)
     document = {

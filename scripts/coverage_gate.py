@@ -1,0 +1,346 @@
+#!/usr/bin/env python
+"""Line-coverage measurement and regression gate, stdlib only.
+
+Two subcommands::
+
+    # Run the test suite under a line collector and write a coverage
+    # document (sys.monitoring on Python >= 3.12, sys.settrace below):
+    PYTHONPATH=src python scripts/coverage_gate.py collect \
+        --output coverage_current.json -- -q
+
+    # Compare a fresh document against the committed baseline; exit
+    # non-zero on a total drop beyond --max-drop or a package floor
+    # violation:
+    python scripts/coverage_gate.py check coverage_current.json \
+        --baseline tests/data/coverage_baseline.json \
+        --max-drop 1.0 --min src/repro/obs=90
+
+``check`` also accepts the JSON written by ``pytest-cov``
+(``--cov-report=json``) so hosts with the real coverage.py installed
+can feed its output straight in; the committed baseline is produced by
+``collect`` so CI and local runs compare like against like.
+
+Executable lines are the union of every code object's ``co_lines``
+for the compiled module, minus blocks whose first line carries a
+``pragma: no cover`` marker — the same contract coverage.py enforces,
+approximated without the dependency (the container this repo grows in
+cannot install packages; see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+import threading
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SOURCE = REPO_ROOT / "src" / "repro"
+PRAGMA = re.compile(r"#\s*pragma:\s*no\s*cover")
+
+
+# ----------------------------------------------------------------------
+# Executable-line analysis
+# ----------------------------------------------------------------------
+def _code_lines(code) -> Set[int]:
+    lines: Set[int] = set()
+    for _, _, line in code.co_lines():
+        # line 0 is the module-level RESUME instruction, not source.
+        if line:
+            lines.add(line)
+    for const in code.co_consts:
+        if hasattr(const, "co_lines"):
+            lines |= _code_lines(const)
+    return lines
+
+
+def _excluded_lines(source: str, tree: ast.Module) -> Set[int]:
+    """Lines inside blocks whose header carries ``pragma: no cover``."""
+    source_lines = source.splitlines()
+    excluded: Set[int] = set()
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is None or end is None:
+            continue
+        header = source_lines[lineno - 1]
+        if PRAGMA.search(header):
+            excluded.update(range(lineno, end + 1))
+    return excluded
+
+
+def executable_lines(path: Path) -> Set[int]:
+    """Line numbers that carry code in ``path`` (pragma blocks out)."""
+    source = path.read_text()
+    code = compile(source, str(path), "exec")
+    lines = _code_lines(code)
+    excluded = _excluded_lines(source, ast.parse(source))
+    return lines - excluded
+
+
+# ----------------------------------------------------------------------
+# Collection
+# ----------------------------------------------------------------------
+class LineCollector:
+    """Record executed lines for files under ``root``.
+
+    Uses the low-overhead :mod:`sys.monitoring` API where available
+    (PEP 669, Python 3.12) and falls back to :func:`sys.settrace`.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = str(root.resolve())
+        self.executed: Dict[str, Set[int]] = defaultdict(set)
+        self._monitoring = hasattr(sys, "monitoring")
+        self._tool_id: Optional[int] = None
+
+    # -- sys.monitoring (3.12+) ----------------------------------------
+    def _start_monitoring(self) -> None:
+        mon = sys.monitoring
+        self._tool_id = mon.COVERAGE_ID
+        mon.use_tool_id(self._tool_id, "coverage_gate")
+        executed = self.executed
+        root = self.root
+
+        def on_line(code, line_number):
+            filename = code.co_filename
+            if filename.startswith(root):
+                executed[filename].add(line_number)
+            else:
+                return mon.DISABLE
+            return None
+
+        mon.register_callback(self._tool_id, mon.events.LINE, on_line)
+        mon.set_events(self._tool_id, mon.events.LINE)
+
+    def _stop_monitoring(self) -> None:
+        mon = sys.monitoring
+        mon.set_events(self._tool_id, 0)
+        mon.register_callback(self._tool_id, mon.events.LINE, None)
+        mon.free_tool_id(self._tool_id)
+
+    # -- settrace fallback ---------------------------------------------
+    def _trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.root):
+            return None
+        executed = self.executed[filename]
+
+        def local(frame, event, arg):
+            if event == "line":
+                executed.add(frame.f_lineno)
+            return local
+
+        executed.add(frame.f_lineno)
+        return local
+
+    def start(self) -> None:
+        if self._monitoring:
+            self._start_monitoring()
+        else:
+            threading.settrace(self._trace)
+            sys.settrace(self._trace)
+
+    def stop(self) -> None:
+        if self._monitoring:
+            self._stop_monitoring()
+        else:
+            sys.settrace(None)
+            threading.settrace(None)  # type: ignore[arg-type]
+
+
+def measure(source_root: Path, pytest_args: List[str]) -> Dict:
+    """Run pytest under the collector; return the coverage document."""
+    import pytest
+
+    collector = LineCollector(source_root)
+    collector.start()
+    try:
+        status = pytest.main(pytest_args)
+    finally:
+        collector.stop()
+    if status != 0:
+        raise SystemExit(f"pytest failed (exit {status}); "
+                         "coverage not recorded")
+    return build_document(source_root, collector.executed)
+
+
+def build_document(source_root: Path,
+                   executed: Dict[str, Set[int]]) -> Dict:
+    files: Dict[str, Dict] = {}
+    total_executable = 0
+    total_executed = 0
+    for path in sorted(source_root.rglob("*.py")):
+        lines = executable_lines(path)
+        if not lines:
+            continue
+        hit = executed.get(str(path.resolve()), set()) & lines
+        relative = str(path.relative_to(REPO_ROOT))
+        files[relative] = {
+            "executable": len(lines),
+            "executed": len(hit),
+            "percent": round(100.0 * len(hit) / len(lines), 2),
+        }
+        total_executable += len(lines)
+        total_executed += len(hit)
+    percent = (100.0 * total_executed / total_executable
+               if total_executable else 0.0)
+    return {
+        "schema": 1,
+        "tool": ("sys.monitoring" if hasattr(sys, "monitoring")
+                 else "sys.settrace"),
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        "totals": {
+            "executable": total_executable,
+            "executed": total_executed,
+            "percent": round(percent, 2),
+        },
+        "files": files,
+    }
+
+
+# ----------------------------------------------------------------------
+# Checking
+# ----------------------------------------------------------------------
+def normalize(document: Dict) -> Dict:
+    """Accept both this script's schema and coverage.py JSON."""
+    if "meta" in document and "files" in document:  # coverage.py json
+        files = {}
+        total_statements = 0
+        total_covered = 0
+        for path, data in document["files"].items():
+            summary = data["summary"]
+            files[path] = {
+                "executable": summary["num_statements"],
+                "executed": summary["covered_lines"],
+                "percent": round(summary["percent_covered"], 2),
+            }
+            total_statements += summary["num_statements"]
+            total_covered += summary["covered_lines"]
+        return {
+            "totals": {
+                "executable": total_statements,
+                "executed": total_covered,
+                "percent": round(
+                    document["totals"]["percent_covered"], 2),
+            },
+            "files": files,
+        }
+    return document
+
+
+def package_percent(document: Dict, prefix: str) -> Optional[float]:
+    executable = 0
+    executed = 0
+    for path, data in document["files"].items():
+        if path.startswith(prefix):
+            executable += data["executable"]
+            executed += data["executed"]
+    if executable == 0:
+        return None
+    return 100.0 * executed / executable
+
+
+def check(current: Dict, baseline: Dict, max_drop: float,
+          floors: Iterable[Tuple[str, float]]) -> int:
+    current = normalize(current)
+    baseline = normalize(baseline)
+    failures: List[str] = []
+
+    now = current["totals"]["percent"]
+    then = baseline["totals"]["percent"]
+    drop = then - now
+    status = "FAIL" if drop > max_drop else "ok"
+    print(f"total line coverage: {then:.2f}% -> {now:.2f}% "
+          f"({-drop:+.2f} points, allowed drop {max_drop:.2f}) {status}")
+    if drop > max_drop:
+        failures.append(
+            f"total coverage dropped {drop:.2f} points (> {max_drop})")
+
+    for prefix, floor in floors:
+        percent = package_percent(current, prefix)
+        if percent is None:
+            failures.append(f"no files under {prefix!r} in coverage data")
+            print(f"  {prefix}: no files measured FAIL")
+            continue
+        status = "FAIL" if percent < floor else "ok"
+        print(f"  {prefix}: {percent:.2f}% (floor {floor:.0f}%) {status}")
+        if percent < floor:
+            failures.append(
+                f"{prefix} at {percent:.2f}% is below the {floor:.0f}% "
+                "floor")
+
+    # Largest per-file regressions, for the log.
+    drops = []
+    for path, data in current["files"].items():
+        base = baseline["files"].get(path)
+        if base and data["percent"] < base["percent"] - 0.005:
+            drops.append((base["percent"] - data["percent"], path,
+                          base["percent"], data["percent"]))
+    for delta, path, before, after in sorted(drops, reverse=True)[:10]:
+        print(f"    {path}: {before:.2f}% -> {after:.2f}%")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("coverage gate passed")
+    return 0
+
+
+def parse_floor(text: str) -> Tuple[str, float]:
+    prefix, _, value = text.partition("=")
+    if not value:
+        raise argparse.ArgumentTypeError(
+            f"expected PREFIX=PERCENT, got {text!r}")
+    return prefix, float(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="coverage_gate",
+                                     description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    collect = commands.add_parser(
+        "collect", help="run pytest under the line collector")
+    collect.add_argument("--source", type=Path, default=DEFAULT_SOURCE,
+                         help="source tree to measure")
+    collect.add_argument("--output", type=Path,
+                         default=Path("coverage_current.json"))
+    collect.add_argument("pytest_args", nargs="*",
+                         help="arguments after -- go to pytest")
+
+    checker = commands.add_parser(
+        "check", help="gate a fresh document against the baseline")
+    checker.add_argument("current", type=Path)
+    checker.add_argument("--baseline", type=Path, required=True)
+    checker.add_argument("--max-drop", type=float, default=1.0,
+                         help="allowed total percent drop (default 1.0)")
+    checker.add_argument("--min", type=parse_floor, action="append",
+                         default=[], metavar="PREFIX=PERCENT",
+                         help="package floor, e.g. src/repro/obs=90")
+
+    args = parser.parse_args(argv)
+    if args.command == "collect":
+        document = measure(args.source, args.pytest_args or ["-q"])
+        args.output.write_text(json.dumps(document, indent=2,
+                                          sort_keys=True) + "\n")
+        totals = document["totals"]
+        print(f"\n{totals['percent']:.2f}% "
+              f"({totals['executed']}/{totals['executable']} lines) "
+              f"-> {args.output}")
+        return 0
+    return check(json.loads(args.current.read_text()),
+                 json.loads(args.baseline.read_text()),
+                 args.max_drop, args.min)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,12 @@ def find_gaps(series: EventSeries, period_ns: int,
     means the timer fired (or should have fired) without a sample
     landing — a missed deadline, a paused buffer, or drops.  The
     default tolerance absorbs ordinary fire jitter.
+
+    Consecutive over-threshold intervals describe **one** hole (a
+    paused buffer swallows several periods in a row but may still leak
+    the odd sample), so adjacent gaps — where one ends on the exact
+    sample the next starts from — coalesce into a single
+    :class:`SampleGap` with their ``missing`` estimates summed.
     """
     if period_ns <= 0:
         raise ExperimentError("period must be positive")
@@ -108,12 +114,19 @@ def find_gaps(series: EventSeries, period_ns: int,
     gaps: List[SampleGap] = []
     for index in np.nonzero(intervals > threshold)[0]:
         interval = int(intervals[index])
-        missing = max(1, round(interval / period_ns) - 1)
-        gaps.append(SampleGap(
-            start_ns=int(series.timestamps[index]),
-            end_ns=int(series.timestamps[index + 1]),
-            missing=missing,
-        ))
+        # Half-up, not round(): banker's rounding would call an
+        # interval of exactly 2.5 periods "2 fires" and report one
+        # missing sample where two fire slots actually elapsed.
+        missing = max(1, int(interval / period_ns + 0.5) - 1)
+        start = int(series.timestamps[index])
+        end = int(series.timestamps[index + 1])
+        if gaps and gaps[-1].end_ns == start:
+            merged = gaps.pop()
+            gaps.append(SampleGap(start_ns=merged.start_ns, end_ns=end,
+                                  missing=merged.missing + missing))
+        else:
+            gaps.append(SampleGap(start_ns=start, end_ns=end,
+                                  missing=missing))
     return gaps
 
 

@@ -79,6 +79,18 @@ _FAULTS_HELP = (
     "starve_factor, pmu_wrap, crash, timeout, persistent)"
 )
 
+_TRACE_HELP = ("record a Chrome trace-event file (Perfetto-loadable; "
+               ".jsonl suffix selects JSONL)")
+_METRICS_HELP = ("record a metrics file (Prometheus text; .json suffix "
+                 "selects the JSON document)")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help=_TRACE_HELP)
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help=_METRICS_HELP)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -101,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "(default: all cores)")
     run_parser.add_argument("--faults", type=_faults_arg, default=None,
                             metavar="SPEC", help=_FAULTS_HELP)
+    _add_obs_args(run_parser)
 
     all_parser = sub.add_parser("run-all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true",
@@ -112,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--faults", type=_faults_arg, default=None,
                             metavar="SPEC",
                             help=_FAULTS_HELP + " (trial experiments only)")
+    _add_obs_args(all_parser)
 
     monitor = sub.add_parser("monitor", help="one monitored trial")
     monitor.add_argument("--workload", choices=sorted(_WORKLOADS),
@@ -127,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the sample series as CSV (K-LEB log layout)")
     monitor.add_argument("--faults", type=_faults_arg, default=None,
                          metavar="SPEC", help=_FAULTS_HELP)
+    _add_obs_args(monitor)
     return parser
 
 
@@ -266,13 +281,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "run-all":
-        return _cmd_run_all(args)
-    if args.command == "monitor":
-        return _cmd_monitor(args)
-    raise AssertionError("unreachable")
+    # Observability is off (null recorder, zero cost) unless asked for.
+    recorder = None
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        from repro.obs import hooks as obs_hooks
+
+        recorder = obs_hooks.Recorder(trace=True, metrics=True)
+        obs_hooks.install(recorder)
+    try:
+        if args.command == "run":
+            status = _cmd_run(args)
+        elif args.command == "run-all":
+            status = _cmd_run_all(args)
+        elif args.command == "monitor":
+            status = _cmd_monitor(args)
+        else:
+            raise AssertionError("unreachable")
+    finally:
+        if recorder is not None:
+            from repro.obs import hooks as obs_hooks
+
+            obs_hooks.reset()
+    if recorder is not None and status == 0:
+        if args.trace:
+            recorder.write_trace(args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            recorder.write_metrics(args.metrics)
+            print(f"metrics written to {args.metrics}")
+    return status
 
 
 if __name__ == "__main__":

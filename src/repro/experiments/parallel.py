@@ -34,6 +34,7 @@ from repro.errors import ExperimentError
 from repro.faults import FaultPlan, RunLedger
 from repro.hw.machine import MachineConfig
 from repro.kernel.config import KernelConfig
+from repro.obs import hooks as obs_hooks
 from repro.tools.base import MonitoringTool
 from repro.workloads.base import Program
 
@@ -107,15 +108,27 @@ def _run_one(trial: int):
             kernel_config=ctx.kernel_config,
         )
     started = time.perf_counter()
-    result = run_monitored(
-        ctx.program, ctx.tool, events=ctx.events, period_ns=ctx.period_ns,
-        seed=ctx.base_seed + trial, machine_config=ctx.machine_config,
-        kernel_config=ctx.kernel_config,
-    )
-    return summarize_trial(
-        result, trial=trial, seed=ctx.base_seed + trial,
-        host_seconds=time.perf_counter() - started,
-    )
+    # Workers inherit the parent's recorder via fork; each trial runs
+    # under a fresh child recorder whose chunk rides home on the
+    # summary for the parent's trial-ordered merge.
+    with obs_hooks.trial_capture(trial) as obs_child:
+        result = run_monitored(
+            ctx.program, ctx.tool, events=ctx.events,
+            period_ns=ctx.period_ns, seed=ctx.base_seed + trial,
+            machine_config=ctx.machine_config,
+            kernel_config=ctx.kernel_config,
+        )
+        summary = summarize_trial(
+            result, trial=trial, seed=ctx.base_seed + trial,
+            host_seconds=time.perf_counter() - started,
+        )
+        if obs_child is not None:
+            obs_child.trial_span(
+                trial, summary.seed, summary.program_name,
+                result.report.tool, summary.wall_ns, summary.sample_count,
+            )
+            summary.obs = obs_child.chunk()
+    return summary
 
 
 def run_trials_parallel(program: Program, tool: MonitoringTool, runs: int,
@@ -191,4 +204,8 @@ def run_trials_parallel(program: Program, tool: MonitoringTool, runs: int,
             [outcome for outcome in results if outcome is not None],
             fault_ledger,
         )
+    for summary in results:
+        if summary is not None:
+            obs_hooks.merge_chunk(summary.obs)
+            summary.obs = None
     return results  # type: ignore[return-value]

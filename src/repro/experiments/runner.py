@@ -36,6 +36,7 @@ from repro.hw.presets import i7_920
 from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Task
+from repro.obs import hooks as obs_hooks
 from repro.sim.clock import seconds
 from repro.sim.rng import RngStreams
 from repro.tools.base import MonitoringTool, ToolReport
@@ -112,6 +113,11 @@ class TrialSummary:
     program_metadata: Dict[str, float] = field(default_factory=dict)
     scratch: Dict[str, object] = field(default_factory=dict)
     host_seconds: float = field(default=0.0, compare=False)
+    # Observability chunk (trace events + metrics) recorded during the
+    # trial; picklable, merged into the parent recorder in trial order
+    # and then dropped.  Excluded from comparisons like host_seconds.
+    obs: Optional[Dict[str, object]] = field(default=None, compare=False,
+                                             repr=False)
 
     @property
     def sample_count(self) -> int:
@@ -214,6 +220,8 @@ class TrialOutcome:
     quarantined: bool = False
     error: str = ""
     records: List[FaultRecord] = field(default_factory=list)
+    obs: Optional[Dict[str, object]] = field(default=None, compare=False,
+                                             repr=False)
 
 
 def _trial_backoff_s(attempt: int) -> float:
@@ -247,69 +255,93 @@ def run_trial_faulted(program: Program, tool: MonitoringTool, trial: int, *,
     fate = plan.trial_fate(trial)
     records: List[FaultRecord] = []
     last_error = ""
-    for attempt in range(1, MAX_TRIAL_ATTEMPTS + 1):
-        injector = FaultInjector(plan, trial=trial)
-        inject_timeout = (fate.kind == "timeout"
-                          and attempt <= fate.failing_attempts)
-        started = time.perf_counter()
-        try:
-            if (fate.kind in ("crash", "persistent")
-                    and attempt <= fate.failing_attempts):
-                flavour = ("persistent worker failure"
-                           if fate.kind == "persistent"
-                           else "transient worker crash")
-                raise TrialCrashError(
-                    f"trial {trial}: injected {flavour} (attempt {attempt})"
+    with obs_hooks.trial_capture(trial) as obs_child:
+        for attempt in range(1, MAX_TRIAL_ATTEMPTS + 1):
+            injector = FaultInjector(plan, trial=trial)
+            inject_timeout = (fate.kind == "timeout"
+                              and attempt <= fate.failing_attempts)
+            started = time.perf_counter()
+            try:
+                if (fate.kind in ("crash", "persistent")
+                        and attempt <= fate.failing_attempts):
+                    flavour = ("persistent worker failure"
+                               if fate.kind == "persistent"
+                               else "transient worker crash")
+                    raise TrialCrashError(
+                        f"trial {trial}: injected {flavour} "
+                        f"(attempt {attempt})"
+                    )
+                result = run_monitored(
+                    program, tool, events=events, period_ns=period_ns,
+                    seed=seed, machine_config=machine_config,
+                    kernel_config=kernel_config,
+                    deadline_s=(TRIAL_TIMEOUT_DEADLINE_S if inject_timeout
+                                else 300.0),
+                    faults=injector,
                 )
-            result = run_monitored(
-                program, tool, events=events, period_ns=period_ns,
-                seed=seed, machine_config=machine_config,
-                kernel_config=kernel_config,
-                deadline_s=(TRIAL_TIMEOUT_DEADLINE_S if inject_timeout
-                            else 300.0),
-                faults=injector,
-            )
-        except TrialCrashError as error:
-            kind = ("persistent-failure" if fate.kind == "persistent"
-                    else "worker-crash")
-            records.append(FaultRecord(time_ns=0, site="runner", kind=kind,
-                                       detail=str(error)))
-            last_error = str(error)
-        except TransientModuleError as error:
-            # Controller exhausted its own retry budget against an
-            # injected device failure; the whole trial is retryable.
-            records.append(FaultRecord(time_ns=0, site="runner",
-                                       kind="device-failure",
-                                       detail=str(error)))
-            last_error = str(error)
-        except KernelError as error:
-            if not inject_timeout:
-                raise  # a real bug, not our watchdog — propagate
-            records.append(FaultRecord(time_ns=0, site="runner",
-                                       kind="trial-timeout",
-                                       detail=str(error)))
-            last_error = str(error)
-        else:
-            records.extend(injector.ledger.records)
-            summary = summarize_trial(
-                result, trial=trial, seed=seed,
-                host_seconds=time.perf_counter() - started,
-            )
-            return TrialOutcome(trial=trial, seed=seed, summary=summary,
-                                attempts=attempt, records=records)
-        if attempt < MAX_TRIAL_ATTEMPTS:
-            backoff_s = _trial_backoff_s(attempt)
-            records.append(FaultRecord(
-                time_ns=0, site="runner", kind="retry-backoff",
-                detail=f"attempt {attempt} failed; "
-                       f"backing off {backoff_s:.2f}s",
-            ))
-            time.sleep(min(backoff_s, TRIAL_BACKOFF_REAL_CAP_S))
-    logger.warning("trial %d quarantined after %d attempts: %s",
-                   trial, MAX_TRIAL_ATTEMPTS, last_error)
-    return TrialOutcome(trial=trial, seed=seed, summary=None,
-                        attempts=MAX_TRIAL_ATTEMPTS, quarantined=True,
-                        error=last_error, records=records)
+            except TrialCrashError as error:
+                kind = ("persistent-failure" if fate.kind == "persistent"
+                        else "worker-crash")
+                records.append(FaultRecord(time_ns=0, site="runner",
+                                           kind=kind, detail=str(error)))
+                last_error = str(error)
+                if obs_child is not None:
+                    obs_child.fault_landed(0, "runner", kind)
+            except TransientModuleError as error:
+                # Controller exhausted its own retry budget against an
+                # injected device failure; the whole trial is retryable.
+                records.append(FaultRecord(time_ns=0, site="runner",
+                                           kind="device-failure",
+                                           detail=str(error)))
+                last_error = str(error)
+                if obs_child is not None:
+                    obs_child.fault_landed(0, "runner", "device-failure")
+            except KernelError as error:
+                if not inject_timeout:
+                    raise  # a real bug, not our watchdog — propagate
+                records.append(FaultRecord(time_ns=0, site="runner",
+                                           kind="trial-timeout",
+                                           detail=str(error)))
+                last_error = str(error)
+                if obs_child is not None:
+                    obs_child.fault_landed(0, "runner", "trial-timeout")
+            else:
+                records.extend(injector.ledger.records)
+                summary = summarize_trial(
+                    result, trial=trial, seed=seed,
+                    host_seconds=time.perf_counter() - started,
+                )
+                outcome = TrialOutcome(trial=trial, seed=seed,
+                                       summary=summary, attempts=attempt,
+                                       records=records)
+                if obs_child is not None:
+                    obs_child.trial_span(
+                        trial, seed, summary.program_name,
+                        result.report.tool, summary.wall_ns,
+                        summary.sample_count,
+                    )
+                    outcome.obs = obs_child.chunk()
+                return outcome
+            if attempt < MAX_TRIAL_ATTEMPTS:
+                backoff_s = _trial_backoff_s(attempt)
+                records.append(FaultRecord(
+                    time_ns=0, site="runner", kind="retry-backoff",
+                    detail=f"attempt {attempt} failed; "
+                           f"backing off {backoff_s:.2f}s",
+                ))
+                if obs_child is not None:
+                    obs_child.trial_retry(trial, attempt, records[-2].kind)
+                time.sleep(min(backoff_s, TRIAL_BACKOFF_REAL_CAP_S))
+        logger.warning("trial %d quarantined after %d attempts: %s",
+                       trial, MAX_TRIAL_ATTEMPTS, last_error)
+        outcome = TrialOutcome(trial=trial, seed=seed, summary=None,
+                               attempts=MAX_TRIAL_ATTEMPTS,
+                               quarantined=True, error=last_error,
+                               records=records)
+        if obs_child is not None:
+            obs_child.trial_quarantined(trial, MAX_TRIAL_ATTEMPTS)
+            outcome.obs = obs_child.chunk()
+    return outcome
 
 
 def collect_outcomes(outcomes: Sequence[TrialOutcome],
@@ -323,6 +355,9 @@ def collect_outcomes(outcomes: Sequence[TrialOutcome],
     """
     summaries: List[TrialSummary] = []
     for outcome in sorted(outcomes, key=lambda o: o.trial):
+        # Trial-ordered merge keeps obs output identical across jobs=N.
+        obs_hooks.merge_chunk(outcome.obs)
+        outcome.obs = None
         if fault_ledger is not None:
             fault_ledger.add(TrialLedger(
                 trial=outcome.trial, seed=outcome.seed,
@@ -384,15 +419,25 @@ def run_trials(program: Program, tool: MonitoringTool,
     summaries: List[TrialSummary] = []
     for trial in range(runs):
         started = time.perf_counter()
-        result = run_monitored(
-            program, tool, events=events, period_ns=period_ns,
-            seed=base_seed + trial, machine_config=machine_config,
-            kernel_config=kernel_config,
-        )
-        summary = summarize_trial(
-            result, trial=trial, seed=base_seed + trial,
-            host_seconds=time.perf_counter() - started,
-        )
+        with obs_hooks.trial_capture(trial) as obs_child:
+            result = run_monitored(
+                program, tool, events=events, period_ns=period_ns,
+                seed=base_seed + trial, machine_config=machine_config,
+                kernel_config=kernel_config,
+            )
+            summary = summarize_trial(
+                result, trial=trial, seed=base_seed + trial,
+                host_seconds=time.perf_counter() - started,
+            )
+            if obs_child is not None:
+                obs_child.trial_span(
+                    trial, summary.seed, summary.program_name,
+                    result.report.tool, summary.wall_ns,
+                    summary.sample_count,
+                )
+                summary.obs = obs_child.chunk()
+        obs_hooks.merge_chunk(summary.obs)
+        summary.obs = None
         logger.info(
             "trial %d/%d (%s under %s) done in %.2fs: sim wall %.4fs, "
             "%d samples", trial + 1, runs, summary.program_name,

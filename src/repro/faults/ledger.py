@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs import hooks as _obs_hooks
+
 
 @dataclass(frozen=True)
 class FaultRecord:
@@ -34,11 +36,14 @@ class FaultLedger:
 
     def __init__(self) -> None:
         self.records: List[FaultRecord] = []
+        self._obs = _obs_hooks.active()
 
     def record(self, time_ns: int, site: str, kind: str,
                detail: str = "") -> None:
         self.records.append(FaultRecord(time_ns=int(time_ns), site=site,
                                         kind=kind, detail=detail))
+        if self._obs is not None:
+            self._obs.fault_landed(int(time_ns), site, kind)
 
     def count(self, site: Optional[str] = None,
               kind: Optional[str] = None) -> int:

@@ -4,7 +4,9 @@ K-LEB's controller logs samples to the file system (paper §III); this
 module is the user-space side of that story: write a
 :class:`~repro.tools.base.ToolReport` to disk in the CSV layout the
 real tool produces (one row per sample, one column per event) or as a
-lossless JSON document, and read either back.
+lossless JSON document, and read either back.  It also loads the
+observability artifacts the CLI records (``--trace``/``--metrics``)
+for ``python -m repro.obs.report`` and CI artifact checks.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, Union
 
 from repro.errors import ReproError
 from repro.tools.base import Sample, ToolReport
@@ -133,3 +135,49 @@ def load_samples_csv(path: PathLike) -> List[Sample]:
         raise ReportIOError(f"cannot read {path}: {error}") from error
     except ValueError as error:
         raise ReportIOError(f"{path}: malformed sample row: {error}") from error
+
+
+def load_trace_events(path: PathLike) -> List[Dict[str, object]]:
+    """Read trace events from a Chrome-trace or JSONL file.
+
+    Accepts both formats the tracer writes: the Perfetto document
+    (``{"traceEvents": [...]}`` — metadata ``M`` events included) and
+    JSONL (one event object per line).
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ReportIOError(f"cannot read trace from {path}: {error}") from error
+    try:
+        if Path(path).suffix == ".jsonl":
+            return [json.loads(line) for line in text.splitlines() if line]
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReportIOError(f"{path}: malformed trace: {error}") from error
+    events = document.get("traceEvents") if isinstance(document, dict) \
+        else document
+    if not isinstance(events, list):
+        raise ReportIOError(f"{path}: not a trace-event document")
+    return events
+
+
+def load_metrics(path: PathLike) -> Dict[str, Dict[str, object]]:
+    """Read a metrics file (Prometheus text or the JSON document) into
+    the ``{name: {kind, samples}}`` shape of
+    :func:`repro.obs.metrics.parse_prometheus_text`."""
+    from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
+
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ReportIOError(f"cannot read metrics from {path}: {error}") from error
+    if Path(path).suffix == ".json":
+        try:
+            registry = MetricsRegistry.from_json(json.loads(text))
+        except (json.JSONDecodeError, ReproError) as error:
+            raise ReportIOError(f"{path}: malformed metrics: {error}") from error
+        return parse_prometheus_text(registry.to_prometheus())
+    try:
+        return parse_prometheus_text(text)
+    except ReproError as error:
+        raise ReportIOError(f"{path}: malformed metrics: {error}") from error

@@ -16,6 +16,7 @@ from typing import Callable, Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.errors import TimerError
+from repro.obs import hooks as _obs_hooks
 from repro.sim.engine import ScheduledEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -38,6 +39,7 @@ class HrTimer:
         self._rng: np.random.Generator = kernel.rng.stream(f"hrtimer:{label}")
         self.fires = 0
         self.missed = 0
+        self._obs = _obs_hooks.active()
 
     @property
     def active(self) -> bool:
@@ -83,13 +85,20 @@ class HrTimer:
 
     def _fire(self, when: int) -> None:
         self._pending = None
+        obs = self._obs
         if self._kernel.faults.timer_missed(when):
             # Injected missed deadline: the expiry came and went inside
             # a masked-interrupt window — the handler never runs and
             # this sample window is simply lost (a gap, not a burst).
             self.missed += 1
+            if obs is not None:
+                obs.timer_missed(self._label, when)
         else:
             self.fires += 1
+            if obs is not None:
+                # Lateness vs the ideal grid: jitter draw plus any
+                # injected IRQ-latency stretch.
+                obs.timer_fired(self._label, when, when - self._next_ideal)
             # Interrupt context: the kernel charges IRQ entry/exit
             # around the handler, counted at kernel privilege.
             self._kernel.run_interrupt(lambda: self._callback(when),
@@ -101,4 +110,6 @@ class HrTimer:
             # rather than firing a burst (hrtimer forward semantics).
             missed = (self._kernel.now - self._next_ideal) // self._period_ns + 1
             self._next_ideal += missed * self._period_ns
+            if obs is not None:
+                obs.timer_overrun(self._label, self._kernel.now, missed)
         self._schedule()

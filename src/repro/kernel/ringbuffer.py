@@ -19,6 +19,7 @@ from collections import deque
 from typing import Deque, Generic, List, Optional, TypeVar
 
 from repro.errors import KernelError
+from repro.obs import hooks as _obs_hooks
 
 T = TypeVar("T")
 
@@ -45,6 +46,7 @@ class RingBuffer(Generic[T]):
         self.total_drained = 0
         self.total_cleared = 0
         self.pause_episodes = 0
+        self._obs = _obs_hooks.active()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,7 +81,10 @@ class RingBuffer(Generic[T]):
             raise KernelError(
                 f"squeeze capacity must be positive, got {capacity}"
             )
+        fresh = self._squeezed_capacity is None
         self._squeezed_capacity = min(int(capacity), self.capacity)
+        if fresh and self._obs is not None:
+            self._obs.buffer_squeezed(self._squeezed_capacity)
 
     def unsqueeze(self) -> None:
         """Restore nominal capacity.  Idempotent."""
@@ -92,17 +97,26 @@ class RingBuffer(Generic[T]):
         module is expected to stop producing until :meth:`drain` frees
         space below the resume threshold.
         """
+        obs = self._obs
         if self.paused or self.full:
             if not self.paused:
                 self.paused = True
                 self.pause_episodes += 1
+                if obs is not None:
+                    obs.buffer_paused()
             self.dropped += 1
+            if obs is not None:
+                obs.buffer_dropped()
             return False
         self._entries.append(item)
         self.total_pushed += 1
+        if obs is not None:
+            obs.buffer_pushed(len(self._entries))
         if self.full:
             self.paused = True
             self.pause_episodes += 1
+            if obs is not None:
+                obs.buffer_paused()
         return True
 
     def drain(self, max_items: Optional[int] = None) -> List[T]:
@@ -122,10 +136,14 @@ class RingBuffer(Generic[T]):
         self.total_drained += count
         if self.paused and len(self._entries) <= self.resume_threshold:
             self.paused = False
+            if self._obs is not None:
+                self._obs.buffer_resumed()
         return drained
 
     def clear(self) -> None:
         """Drop everything and resume collection."""
         self.total_cleared += len(self._entries)
         self._entries.clear()
+        if self.paused and self._obs is not None:
+            self._obs.buffer_resumed()
         self.paused = False

@@ -1,0 +1,58 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+Three cooperating pieces:
+
+* :mod:`repro.obs.trace` — span/instant tracer on the simulated clock,
+  exporting Chrome trace-event JSON (Perfetto-loadable) and JSONL;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with
+  Prometheus-text and JSON exporters, merged deterministically across
+  ``jobs=N`` workers;
+* :mod:`repro.obs.hooks` — the hook-point protocol the instrumented
+  hot paths call, with a null recorder installed by default so the
+  whole subsystem is a strict no-op until the CLI (or a test) installs
+  a live :class:`~repro.obs.hooks.Recorder`.
+
+See ``docs/observability.md`` for the span taxonomy and metric
+catalogue, and ``python -m repro.obs.report`` for a terminal summary
+of a recorded trace/metrics pair.
+"""
+
+from repro.obs.hooks import (
+    NULL,
+    NullRecorder,
+    Recorder,
+    active,
+    install,
+    merge_chunk,
+    recorder,
+    reset,
+    trial_capture,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_NS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    ObsError,
+    parse_prometheus_text,
+)
+from repro.obs.trace import TRACKS, SpanHandle, Tracer
+
+__all__ = [
+    "NULL",
+    "NullRecorder",
+    "Recorder",
+    "active",
+    "install",
+    "merge_chunk",
+    "recorder",
+    "reset",
+    "trial_capture",
+    "LATENCY_BUCKETS_NS",
+    "SIZE_BUCKETS",
+    "MetricsRegistry",
+    "ObsError",
+    "parse_prometheus_text",
+    "TRACKS",
+    "SpanHandle",
+    "Tracer",
+]

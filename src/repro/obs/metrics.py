@@ -1,0 +1,373 @@
+"""Metrics registry: counters, gauges, histograms, two exporters.
+
+The registry is the aggregate side of the observability subsystem:
+where the tracer answers *when did this happen*, the registry answers
+*how often and how big*.  Three metric kinds cover the instrumented
+sites:
+
+* :class:`Counter` — monotone totals (events fired, samples dropped);
+* :class:`Gauge` — level readings merged by **max** (depth high-water,
+  shortest drain interval would invert — so gauges declare their merge
+  policy at registration);
+* :class:`Histogram` — fixed-bucket distributions (drain batch sizes,
+  HRTimer fire lateness).
+
+Exports: Prometheus exposition text (``to_prometheus`` — scrapeable,
+and parseable back via :func:`parse_prometheus_text` for round-trip
+tests and the report tool) and a lossless JSON document
+(``to_json``/``from_json``) used to ship worker chunks across the
+process pool.
+
+**Determinism.**  Families export in registration order, label series
+in sorted label order, and ``merge`` folds chunks in the caller's
+(trial) order — so a ``jobs=4`` run produces byte-identical exports to
+``jobs=1``.  Buckets are fixed at registration; merging histograms
+with different bounds is a :class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+LabelValues = Tuple[str, ...]
+
+# Default lateness/latency buckets (nanoseconds): 1 us .. 100 ms.
+LATENCY_BUCKETS_NS = (
+    1_000, 10_000, 50_000, 100_000, 500_000,
+    1_000_000, 10_000_000, 100_000_000,
+)
+# Default size buckets (items per batch).
+SIZE_BUCKETS = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class ObsError(ReproError):
+    """Metric misuse: kind mismatch, bad labels, malformed document."""
+
+
+def _format_value(value: float) -> str:
+    """Canonical number rendering: ints without a trailing ``.0``."""
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: Sequence[str], values: LabelValues) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{name}="{value}"'
+                     for name, value in zip(names, values))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotone float total for one label series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Level reading; ``set_max`` keeps the high-water mark."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus cumulative semantics."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(float(bound) for bound in bounds)
+        # counts[i] observations <= bounds[i]; final slot is +Inf.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric: kind, help text, and its label series."""
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 label_names: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        if kind not in _KINDS:
+            raise ObsError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        if kind == "histogram" and self.buckets is None:
+            raise ObsError(f"histogram {name!r} needs bucket bounds")
+        self.series: Dict[LabelValues, object] = {}
+
+    def labels(self, *values: str):
+        """The child series for ``values`` (created on first use)."""
+        if len(values) != len(self.label_names):
+            raise ObsError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {values!r}"
+            )
+        child = self.series.get(values)
+        if child is None:
+            if self.kind == "histogram":
+                child = Histogram(self.buckets or ())
+            else:
+                child = _KINDS[self.kind]()
+            self.series[values] = child
+        return child
+
+    @property
+    def default(self):
+        """The label-less series (the common case)."""
+        return self.labels()
+
+
+class MetricsRegistry:
+    """Named metric families with deterministic export and merge."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def families(self) -> Iterable[MetricFamily]:
+        return self._families.values()
+
+    def _register(self, name: str, kind: str, help_text: str,
+                  label_names: Sequence[str],
+                  buckets: Optional[Sequence[float]]) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ObsError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+        family = MetricFamily(name, kind, help_text, label_names, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                label_names: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "counter", help_text, label_names, None)
+
+    def gauge(self, name: str, help_text: str = "",
+              label_names: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "gauge", help_text, label_names, None)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = LATENCY_BUCKETS_NS,
+                  label_names: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "histogram", help_text, label_names,
+                              buckets)
+
+    def get(self, name: str) -> MetricFamily:
+        try:
+            return self._families[name]
+        except KeyError:
+            raise ObsError(f"no metric named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Merge (deterministic: caller folds chunks in trial order)
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters and histograms add; gauges keep the maximum (every
+        gauge here is a high-water reading).  Families unknown to this
+        registry are adopted wholesale.
+        """
+        for name, theirs in other._families.items():
+            mine = self._families.get(name)
+            if mine is None:
+                mine = MetricFamily(name, theirs.kind, theirs.help_text,
+                                    theirs.label_names, theirs.buckets)
+                self._families[name] = mine
+            elif mine.kind != theirs.kind:
+                raise ObsError(
+                    f"merge kind mismatch for {name!r}: "
+                    f"{mine.kind} vs {theirs.kind}"
+                )
+            for values, series in theirs.series.items():
+                target = mine.labels(*values)
+                if theirs.kind == "counter":
+                    target.value += series.value
+                elif theirs.kind == "gauge":
+                    target.set_max(series.value)
+                else:
+                    if target.bounds != series.bounds:
+                        raise ObsError(
+                            f"merge bucket mismatch for {name!r}"
+                        )
+                    for index, count in enumerate(series.counts):
+                        target.counts[index] += count
+                    target.sum += series.sum
+                    target.count += series.count
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus exposition-format text (0.0.4)."""
+        lines: List[str] = []
+        for family in self._families.values():
+            if family.help_text:
+                lines.append(f"# HELP {family.name} {family.help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values in sorted(family.series):
+                series = family.series[values]
+                labels = _format_labels(family.label_names, values)
+                if family.kind in ("counter", "gauge"):
+                    lines.append(f"{family.name}{labels} "
+                                 f"{_format_value(series.value)}")
+                    continue
+                cumulative = 0
+                for bound, count in zip(series.bounds, series.counts):
+                    cumulative += count
+                    le = _format_labels(
+                        family.label_names + ("le",),
+                        values + (_format_value(bound),),
+                    )
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                le_inf = _format_labels(family.label_names + ("le",),
+                                        values + ("+Inf",))
+                lines.append(f"{family.name}_bucket{le_inf} {series.count}")
+                lines.append(f"{family.name}_sum{labels} "
+                             f"{_format_value(series.sum)}")
+                lines.append(f"{family.name}_count{labels} {series.count}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, object]:
+        """Lossless document: chunk shipping and ``from_json`` round-trip."""
+        families = []
+        for family in self._families.values():
+            series = []
+            for values in sorted(family.series):
+                child = family.series[values]
+                if family.kind == "histogram":
+                    data = {"counts": list(child.counts),
+                            "sum": child.sum, "count": child.count}
+                else:
+                    data = {"value": child.value}
+                series.append({"labels": list(values), **data})
+            families.append({
+                "name": family.name, "kind": family.kind,
+                "help": family.help_text,
+                "label_names": list(family.label_names),
+                "buckets": (list(family.buckets)
+                            if family.buckets is not None else None),
+                "series": series,
+            })
+        return {"families": families}
+
+    @classmethod
+    def from_json(cls, document: Dict[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        try:
+            for entry in document["families"]:
+                family = registry._register(
+                    entry["name"], entry["kind"], entry.get("help", ""),
+                    tuple(entry.get("label_names", ())),
+                    (tuple(entry["buckets"])
+                     if entry.get("buckets") is not None else None),
+                )
+                for item in entry["series"]:
+                    child = family.labels(*item["labels"])
+                    if family.kind == "histogram":
+                        child.counts = list(item["counts"])
+                        child.sum = float(item["sum"])
+                        child.count = int(item["count"])
+                    else:
+                        child.value = float(item["value"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ObsError(f"malformed metrics document: {error}") from error
+        return registry
+
+    def write(self, path) -> None:
+        """Write metrics; ``.json`` suffix selects the JSON document,
+        anything else gets Prometheus text."""
+        from pathlib import Path
+
+        path = Path(path)
+        if path.suffix == ".json":
+            path.write_text(json.dumps(self.to_json(), sort_keys=True,
+                                       separators=(",", ":")) + "\n")
+        else:
+            path.write_text(self.to_prometheus())
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text back into ``{name: {kind, samples}}``.
+
+    ``samples`` maps a rendered label string (``'{a="b"}'`` or ``""``)
+    to a float value; histogram component samples keep their
+    ``_bucket``/``_sum``/``_count`` suffixes under the family name.
+    Enough structure for round-trip tests and the report tool — not a
+    general Prometheus client.
+    """
+    metrics: Dict[str, Dict[str, object]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            metrics.setdefault(name, {"kind": kind, "samples": {}})
+            metrics[name]["kind"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        try:
+            sample, value_text = line.rsplit(None, 1)
+            value = float(value_text.replace("+Inf", "inf"))
+        except ValueError as error:
+            raise ObsError(f"malformed metric line {line!r}") from error
+        brace = sample.find("{")
+        if brace >= 0:
+            sample_name, labels = sample[:brace], sample[brace:]
+        else:
+            sample_name, labels = sample, ""
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[:-len(suffix)]
+            if (sample_name.endswith(suffix) and base in metrics
+                    and metrics[base]["kind"] == "histogram"):
+                family = base
+                break
+        entry = metrics.setdefault(family, {"kind": "untyped",
+                                            "samples": {}})
+        key = sample_name[len(family):] + labels
+        entry["samples"][key] = value
+    return metrics

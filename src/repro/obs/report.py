@@ -1,0 +1,157 @@
+"""Terminal summary of a recorded trace/metrics pair.
+
+Usage::
+
+    python -m repro.obs.report --trace t.json [--metrics m.prom]
+
+Renders the artifacts the CLI's ``--trace``/``--metrics`` flags
+produce into three terminal tables for CI artifact review:
+
+* **top spans** — span names ranked by total simulated time;
+* **drain-cycle histogram** — the controller's batch-size and
+  cycle-latency distributions (from the metrics file);
+* **fault timeline** — every ``fault:*`` instant in trial/time order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import text_table
+from repro.io import load_metrics, load_trace_events
+
+_TOP_SPANS = 15
+_TIMELINE_MAX = 40
+
+
+def _format_ns(value_us: float) -> str:
+    """Render a microsecond quantity with an adaptive unit."""
+    ns = value_us * 1000.0
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def summarize_spans(events: Sequence[Dict[str, object]]) -> str:
+    """Span names ranked by total simulated time (``X`` events)."""
+    totals: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = str(event.get("name", "?"))
+        entry = totals.setdefault(name, [0.0, 0])
+        entry[0] += float(event.get("dur", 0.0))
+        entry[1] += 1
+    if not totals:
+        return "no spans recorded"
+    ranked = sorted(totals.items(), key=lambda item: -item[1][0])
+    rows = [
+        [name, str(int(count)), _format_ns(total),
+         _format_ns(total / count)]
+        for name, (total, count) in ranked[:_TOP_SPANS]
+    ]
+    return text_table(["span", "count", "total sim time", "mean"],
+                      rows, title="Top spans by simulated time")
+
+
+def _histogram_rows(samples: Dict[str, float], unit: str) -> List[List[str]]:
+    """Cumulative ``_bucket`` samples → per-bucket rows with a bar."""
+    buckets = []
+    for key, value in samples.items():
+        if not key.startswith('_bucket{le="'):
+            continue
+        bound = key[len('_bucket{le="'):-2]
+        order = float("inf") if bound == "+Inf" else float(bound)
+        buckets.append((order, bound, value))
+    buckets.sort(key=lambda item: item[0])
+    rows = []
+    previous = 0.0
+    top = max((value - 0 for _, _, value in buckets), default=0.0)
+    for _, bound, cumulative in buckets:
+        count = cumulative - previous
+        previous = cumulative
+        bar = "#" * int(round(24 * count / top)) if top else ""
+        label = f"<= {bound}" if bound != "+Inf" else "> max"
+        rows.append([f"{label} {unit}".rstrip(), str(int(count)), bar])
+    return rows
+
+
+def summarize_drain(metrics: Dict[str, Dict[str, object]]) -> str:
+    """Drain-cycle distributions from the controller's histograms."""
+    sections = []
+    for name, unit, title in (
+        ("kleb_drain_batch_size", "samples", "Drain batch size"),
+        ("kleb_drain_cycle_ns", "ns", "Drain cycle latency"),
+    ):
+        family = metrics.get(name)
+        if family is None:
+            continue
+        rows = _histogram_rows(family["samples"], unit)
+        if rows:
+            sections.append(text_table(["bucket", "count", ""],
+                                       rows, title=title))
+    if not sections:
+        return "no drain-cycle metrics recorded"
+    return "\n\n".join(sections)
+
+
+def summarize_faults(events: Sequence[Dict[str, object]]) -> str:
+    """Every ``fault:*`` instant, in (trial, simulated time) order."""
+    faults = [
+        event for event in events
+        if event.get("ph") == "i"
+        and str(event.get("name", "")).startswith("fault:")
+    ]
+    if not faults:
+        return "no faults recorded"
+    faults.sort(key=lambda event: (event.get("pid", 0),
+                                   float(event.get("ts", 0.0))))
+    rows = [
+        [str(event.get("pid", 0)),
+         f"{int(float(event.get('ts', 0.0)) * 1000):,}",
+         str(event.get("name", ""))[len("fault:"):],
+         str((event.get("args") or {}).get("site", "?"))]
+        for event in faults[:_TIMELINE_MAX]
+    ]
+    table = text_table(["trial", "sim ns", "kind", "site"], rows,
+                       title=f"Fault timeline ({len(faults)} faults)")
+    if len(faults) > _TIMELINE_MAX:
+        table += f"\n... and {len(faults) - _TIMELINE_MAX} more"
+    return table
+
+
+def render(trace_path: Optional[str], metrics_path: Optional[str]) -> str:
+    """The full report for a trace and/or metrics file."""
+    sections: List[str] = []
+    events: List[Dict[str, object]] = []
+    if trace_path:
+        events = load_trace_events(trace_path)
+        sections.append(summarize_spans(events))
+    if metrics_path:
+        sections.append(summarize_drain(load_metrics(metrics_path)))
+    if trace_path:
+        sections.append(summarize_faults(events))
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="summarize a recorded trace/metrics pair",
+    )
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="Chrome-trace or JSONL file from --trace")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="Prometheus text or JSON file from --metrics")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("need --trace and/or --metrics")
+    print(render(args.trace, args.metrics))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

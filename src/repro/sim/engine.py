@@ -20,6 +20,7 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import hooks as _obs_hooks
 
 EventCallback = Callable[[int], None]
 
@@ -77,6 +78,12 @@ class EventQueue:
         self._live = 0
         # Cancelled entries still sitting in the heap (tombstones).
         self._dead = 0
+        # Observability hook, captured once: None while disabled, so
+        # every hot-path hook site costs a single identity comparison.
+        self._obs = _obs_hooks.active()
+        # Depth already reported to the recorder; schedule() only hooks
+        # on a new high-water mark, not on every insert.
+        self._obs_peak = 0
 
     def __len__(self) -> int:
         return self._live
@@ -84,6 +91,8 @@ class EventQueue:
     def _note_cancelled(self) -> None:
         self._live -= 1
         self._dead += 1
+        if self._obs is not None:
+            self._obs.queue_event_cancelled()
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:
@@ -98,9 +107,12 @@ class EventQueue:
         if (self._dead < _COMPACT_MIN_DEAD or self._dispatching
                 or self._dead * 2 <= len(heap)):
             return
+        dead = self._dead
         self._heap = [entry for entry in heap if not entry[2]._cancelled]
         heapq.heapify(self._heap)
         self._dead = 0
+        if self._obs is not None:
+            self._obs.queue_compacted(dead, len(self._heap))
 
     def schedule(self, when: int, callback: EventCallback,
                  label: str = "event") -> ScheduledEvent:
@@ -115,6 +127,9 @@ class EventQueue:
         event = ScheduledEvent(when, callback, label, queue=self)
         heapq.heappush(self._heap, (when, next(self._seq), event))
         self._live += 1
+        if self._obs is not None and self._live > self._obs_peak:
+            self._obs_peak = self._live
+            self._obs.queue_scheduled(self._live)
         return event
 
     def peek_time(self) -> Optional[int]:
@@ -157,6 +172,9 @@ class EventQueue:
                 fired += 1
         finally:
             self._dispatching = False
+        if fired and self._obs is not None:
+            # Batched: one hook call per dispatch, not per event.
+            self._obs.queue_events_fired(fired)
         return fired
 
     def clear(self) -> None:

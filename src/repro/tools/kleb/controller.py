@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import TransientModuleError
+from repro.obs import hooks as _obs_hooks
 from repro.sim.clock import ms
 from repro.tools import costs
 from repro.tools.base import Sample
@@ -96,6 +97,7 @@ class KLebControllerProgram(Program):
         self.start_target = start_target
         drain_every = costs.KLEB_DRAIN_EVERY_PERIODS * module_config.period_ns
         self.drain_interval_ns = max(drain_every, ms(10))
+        self._obs = _obs_hooks.active()
 
     # ------------------------------------------------------------------
     # Retryable syscall helpers
@@ -109,6 +111,7 @@ class KLebControllerProgram(Program):
         fails upward to the runner's quarantine logic.
         """
         state = self.state
+        obs = self._obs
         outcome: Dict[str, object] = {}
         for attempt in range(_IOCTL_MAX_ATTEMPTS):
             def handler(kernel, task):
@@ -122,8 +125,12 @@ class KLebControllerProgram(Program):
 
             yield SyscallBlock("ioctl", handler=handler, label=label)
             if outcome.pop("ok", False):
+                if attempt and obs is not None:
+                    obs.fault_recovered(self.module.kernel.now, "ioctl")
                 return
             state.ioctl_retries += 1
+            if obs is not None:
+                obs.controller_retry(self.module.kernel.now, "ioctl")
             if attempt == _IOCTL_MAX_ATTEMPTS - 1:
                 raise outcome["error"]  # type: ignore[misc]
             delay = _backoff_ns(attempt)
@@ -144,6 +151,7 @@ class KLebControllerProgram(Program):
         """
         module = self.module
         state = self.state
+        obs = self._obs
         outcome: Dict[str, object] = {}
         for attempt in range(_READ_MAX_ATTEMPTS):
             def do_read(kernel, task):
@@ -167,8 +175,12 @@ class KLebControllerProgram(Program):
 
             yield SyscallBlock("read", handler=do_read, label="read-samples")
             if outcome.pop("ok", False):
+                if attempt and obs is not None:
+                    obs.fault_recovered(module.kernel.now, "read")
                 break
             state.read_retries += 1
+            if obs is not None:
+                obs.controller_retry(module.kernel.now, "read")
             if attempt == _READ_MAX_ATTEMPTS - 1:
                 raise outcome["error"]  # type: ignore[misc]
             delay = _backoff_ns(attempt)
@@ -203,6 +215,7 @@ class KLebControllerProgram(Program):
     def blocks(self) -> Iterator[Block]:
         module = self.module
         state = self.state
+        obs = self._obs
 
         yield from self._retrying_ioctl(
             lambda kernel, task: module.ioctl("config", self.module_config),
@@ -236,9 +249,17 @@ class KLebControllerProgram(Program):
                 label="sleep-drain",
             )
 
+            cycle_start = module.kernel.now
             yield from self._read_and_log(holder)
             paused = bool(holder.get("paused", False))
             dropped = int(holder.get("dropped", 0))
+            if obs is not None:
+                # The drain-cycle span covers read + format + log write
+                # (generator resumption times are simulated block
+                # completion times).
+                obs.drain_cycle(cycle_start, module.kernel.now,
+                                int(holder.get("batch_len", 0)),
+                                paused, interval_ns)
 
             if paused or dropped > last_dropped:
                 # The safety stop engaged (or fresh drops) since the
@@ -249,6 +270,9 @@ class KLebControllerProgram(Program):
                 while recovery < _RECOVERY_READS_MAX:
                     recovery += 1
                     state.recovery_reads += 1
+                    if obs is not None:
+                        obs.controller_retry(module.kernel.now,
+                                             "recovery-read")
                     nap_ns = floor_ns // 2
                     yield SyscallBlock(
                         "nanosleep",
@@ -266,6 +290,8 @@ class KLebControllerProgram(Program):
                 if shortened < interval_ns:
                     interval_ns = shortened
                     state.drain_shrinks += 1
+                    if obs is not None:
+                        obs.drain_shrunk(module.kernel.now, interval_ns)
                 healthy_cycles = 0
                 last_dropped = dropped
             else:
@@ -275,6 +301,8 @@ class KLebControllerProgram(Program):
                     interval_ns = min(self.drain_interval_ns,
                                       interval_ns * 2)
                     state.drain_restores += 1
+                    if obs is not None:
+                        obs.drain_restored(module.kernel.now, interval_ns)
                     healthy_cycles = 0
 
             if state.stop_requested and not module.collecting \

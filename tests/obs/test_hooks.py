@@ -1,0 +1,235 @@
+"""Hook protocol: null-recorder transparency and recorder behaviour.
+
+The load-bearing property: with the (default) null recorder installed,
+the instrumented hot paths are bit-identical to uninstrumented code —
+any interleaving of hook calls changes nothing.  The Hypothesis test
+drives the instrumented ``EventQueue`` through arbitrary op sequences
+with hook calls interleaved and compares full internal state against a
+queue that never saw a hook.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import hooks
+from repro.obs.hooks import NullRecorder, Recorder
+from repro.sim.engine import EventQueue
+
+
+@pytest.fixture(autouse=True)
+def _reset_recorder():
+    yield
+    hooks.reset()
+
+
+class TestNullRecorder:
+    def test_null_is_installed_by_default(self):
+        assert isinstance(hooks.recorder(), NullRecorder)
+        assert hooks.active() is None
+
+    def test_every_hook_is_a_noop(self):
+        null = hooks.recorder()
+        null.queue_scheduled(5)
+        null.queue_events_fired(3)
+        null.queue_event_cancelled()
+        null.queue_compacted(10, 2)
+        null.timer_fired("t", 100, 5)
+        null.timer_missed("t", 100)
+        null.timer_overrun("t", 100, 2)
+        null.buffer_pushed(1)
+        null.buffer_dropped()
+        null.buffer_paused()
+        null.buffer_resumed()
+        null.buffer_squeezed(8)
+        null.drain_cycle(0, 10, 3, False, 100)
+        null.drain_shrunk(0, 50)
+        null.drain_restored(0, 100)
+        null.controller_retry(0, "read")
+        null.fault_landed(0, "hrtimer", "jitter")
+        null.fault_recovered(0, "read")
+        null.trial_span(0, 1, "p", "t", 10, 2)
+        null.trial_retry(0, 1, "crash")
+        null.trial_quarantined(0, 3)
+        assert not null.__dict__  # still stateless
+
+    def test_install_and_reset(self):
+        recorder = Recorder()
+        hooks.install(recorder)
+        assert hooks.active() is recorder
+        hooks.reset()
+        assert hooks.active() is None
+
+
+# Op stream for the interleaving property: queue operations mixed with
+# direct hook calls against whatever recorder is installed (the null
+# one).  Mirrors the reference-model suite in
+# tests/properties/test_props_engine.py.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(0, 50)),
+        st.tuples(st.just("cancel"), st.integers(0, 10_000)),
+        st.tuples(st.just("dispatch"), st.integers(0, 60)),
+        st.tuples(st.just("hook"), st.integers(0, 6)),
+    ),
+    max_size=150,
+)
+
+_HOOK_CALLS = (
+    lambda r: r.queue_scheduled(3),
+    lambda r: r.queue_events_fired(2),
+    lambda r: r.queue_event_cancelled(),
+    lambda r: r.queue_compacted(64, 1),
+    lambda r: r.timer_fired("t", 10, 1),
+    lambda r: r.buffer_pushed(4),
+    lambda r: r.drain_cycle(0, 5, 1, False, 10),
+)
+
+
+def _queue_state(queue: EventQueue):
+    return (
+        sorted((when, seq, event.label, event.cancelled)
+               for when, seq, event in queue._heap),
+        queue._live,
+        queue._dead,
+    )
+
+
+class TestNullRecorderTransparency:
+    @given(_OPS)
+    @settings(max_examples=150, deadline=None)
+    def test_interleaved_hook_calls_leave_engine_state_bit_identical(
+            self, ops):
+        hooked = EventQueue()
+        plain = EventQueue()
+        hooked_fired = []
+        plain_fired = []
+        handles = []
+        for op, value in ops:
+            if op == "schedule":
+                label = f"e{len(handles)}"
+                handles.append((
+                    hooked.schedule(value, hooked_fired.append, label),
+                    plain.schedule(value, plain_fired.append, label),
+                ))
+            elif op == "cancel":
+                if handles:
+                    real, mirror = handles[value % len(handles)]
+                    real.cancel()
+                    mirror.cancel()
+            elif op == "dispatch":
+                hooked.dispatch_due(value)
+                plain.dispatch_due(value)
+            else:
+                # Fire a hook on the installed (null) recorder between
+                # engine operations — must be invisible.
+                _HOOK_CALLS[value % len(_HOOK_CALLS)](hooks.recorder())
+            assert _queue_state(hooked) == _queue_state(plain)
+            assert hooked_fired == plain_fired
+        hooked.dispatch_due(10**9)
+        plain.dispatch_due(10**9)
+        assert hooked_fired == plain_fired
+        assert _queue_state(hooked) == _queue_state(plain)
+
+    def test_queue_built_while_disabled_never_calls_recorder(self):
+        """The hook reference is captured at construction: a queue built
+        under the null recorder stays silent even if a live recorder is
+        installed afterwards."""
+        queue = EventQueue()
+        recorder = Recorder()
+        hooks.install(recorder)
+        queue.schedule(5, lambda when: None)
+        queue.dispatch_due(10)
+        assert recorder.registry.get(
+            "sim_events_fired_total").default.value == 0
+
+
+class TestRecorderHooks:
+    @pytest.fixture
+    def recorder(self):
+        recorder = Recorder()
+        hooks.install(recorder)
+        return recorder
+
+    def test_queue_hooks_feed_metrics(self, recorder):
+        queue = EventQueue()  # built with the recorder installed
+        handles = [queue.schedule(t, lambda when: None) for t in range(5)]
+        handles[0].cancel()
+        queue.dispatch_due(10)
+        registry = recorder.registry
+        assert registry.get("sim_events_fired_total").default.value == 4
+        assert registry.get(
+            "sim_events_cancelled_total").default.value == 1
+        assert registry.get(
+            "sim_queue_depth_high_water").default.value == 5
+
+    def test_timer_and_fault_hooks_emit_trace_events(self, recorder):
+        recorder.timer_missed("kleb", 1_000)
+        recorder.fault_landed(2_000, "ringbuffer", "squeeze")
+        names = [event[1] for event in recorder.tracer.dump_events()]
+        assert names == ["timer-missed", "fault:squeeze"]
+        registry = recorder.registry
+        assert registry.get("hrtimer_missed_total").default.value == 1
+        assert registry.get(
+            "faults_landed_total").labels("ringbuffer").value == 1
+
+    def test_lateness_histogram_observes_fires(self, recorder):
+        recorder.timer_fired("kleb", 10_000, 1_500)
+        hist = recorder.registry.get("hrtimer_fire_lateness_ns").default
+        assert hist.count == 1 and hist.sum == 1_500
+
+    def test_metrics_only_recorder_skips_tracing(self):
+        recorder = Recorder(trace=False)
+        recorder.timer_missed("t", 0)
+        assert recorder.tracer is None
+        with pytest.raises(ValueError):
+            recorder.write_trace("/tmp/never.json")
+
+
+class TestTrialCapture:
+    def test_yields_none_when_disabled(self):
+        with hooks.trial_capture(0) as child:
+            assert child is None
+
+    def test_installs_child_and_restores_parent(self):
+        parent = Recorder()
+        hooks.install(parent)
+        with hooks.trial_capture(3) as child:
+            assert hooks.active() is child
+            assert child is not parent
+            assert child.tracer.pid == 3
+        assert hooks.active() is parent
+
+    def test_parent_restored_on_exception(self):
+        parent = Recorder()
+        hooks.install(parent)
+        with pytest.raises(RuntimeError):
+            with hooks.trial_capture(0):
+                raise RuntimeError("boom")
+        assert hooks.active() is parent
+
+    def test_chunk_merge_round_trip(self):
+        parent = Recorder()
+        hooks.install(parent)
+        with hooks.trial_capture(2) as child:
+            child.queue_events_fired(9)
+            child.trial_span(2, 7, "matmul", "k-leb", 1_000, 3)
+            chunk = child.chunk()
+        hooks.merge_chunk(chunk)
+        assert parent.registry.get(
+            "sim_events_fired_total").default.value == 9
+        spans = [event for event in parent.tracer.to_dicts()
+                 if event["name"] == "trial"]
+        assert spans[0]["pid"] == 2
+
+    def test_merge_chunk_none_is_a_noop(self):
+        hooks.merge_chunk(None)  # disabled path: nothing to do
+        parent = Recorder()
+        hooks.install(parent)
+        hooks.merge_chunk(None)
+        assert len(parent.tracer) == 0
+
+    def test_child_inherits_flags(self):
+        parent = Recorder(trace=False, wallclock=False)
+        hooks.install(parent)
+        with hooks.trial_capture(0) as child:
+            assert child.tracer is None

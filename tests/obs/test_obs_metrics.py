@@ -1,0 +1,189 @@
+"""Metrics registry: kinds, exposition round-trip, deterministic merge."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ObsError,
+    parse_prometheus_text,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("events_total", "things that happened").default.inc(7)
+    registry.gauge("depth_high_water", "max depth").default.set_max(12)
+    hist = registry.histogram("latency_ns", "latency",
+                              buckets=(10, 100, 1000)).default
+    for value in (5, 50, 500, 5000):
+        hist.observe(value)
+    labelled = registry.counter("retries_total", "retries",
+                                label_names=("op",))
+    labelled.labels("read").inc(2)
+    labelled.labels("ioctl").inc()
+    return registry
+
+
+class TestKinds:
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError):
+            registry.counter("c").default.inc(-1)
+
+    def test_gauge_set_max_keeps_high_water(self):
+        gauge = MetricsRegistry().gauge("g").default
+        gauge.set_max(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_histogram_bucket_placement_is_inclusive(self):
+        hist = MetricsRegistry().histogram(
+            "h", buckets=(10, 100)).default
+        hist.observe(10)   # on the bound -> first bucket (le semantics)
+        hist.observe(11)
+        hist.observe(1000)
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3 and hist.sum == 1021
+
+    def test_registration_is_idempotent_but_kind_checked(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x", "help")
+        assert registry.counter("x") is first
+        with pytest.raises(ObsError):
+            registry.gauge("x")
+
+    def test_histogram_requires_buckets(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry().histogram("h", buckets=None)
+
+    def test_label_arity_is_checked(self):
+        family = MetricsRegistry().counter("c", label_names=("op",))
+        with pytest.raises(ObsError):
+            family.labels("a", "b")
+
+
+class TestPrometheusExposition:
+    def test_round_trip_recovers_every_value(self):
+        text = _sample_registry().to_prometheus()
+        parsed = parse_prometheus_text(text)
+        assert parsed["events_total"]["kind"] == "counter"
+        assert parsed["events_total"]["samples"][""] == 7
+        assert parsed["depth_high_water"]["samples"][""] == 12
+        hist = parsed["latency_ns"]
+        assert hist["kind"] == "histogram"
+        # Cumulative buckets, then +Inf == count.
+        assert hist["samples"]['_bucket{le="10"}'] == 1
+        assert hist["samples"]['_bucket{le="100"}'] == 2
+        assert hist["samples"]['_bucket{le="1000"}'] == 3
+        assert hist["samples"]['_bucket{le="+Inf"}'] == 4
+        assert hist["samples"]["_sum"] == 5555
+        assert hist["samples"]["_count"] == 4
+        retries = parsed["retries_total"]["samples"]
+        assert retries['{op="ioctl"}'] == 1
+        assert retries['{op="read"}'] == 2
+
+    def test_type_and_help_lines_present(self):
+        text = _sample_registry().to_prometheus()
+        assert "# HELP events_total things that happened" in text
+        assert "# TYPE latency_ns histogram" in text
+
+    def test_label_series_export_sorted(self):
+        text = _sample_registry().to_prometheus()
+        ioctl = text.index('retries_total{op="ioctl"}')
+        read = text.index('retries_total{op="read"}')
+        assert ioctl < read
+
+    def test_integer_values_render_without_decimal_point(self):
+        text = _sample_registry().to_prometheus()
+        assert "events_total 7\n" in text
+        registry = MetricsRegistry()
+        registry.gauge("ratio").default.set(0.25)
+        assert "ratio 0.25" in registry.to_prometheus()
+
+    def test_parser_rejects_malformed_line(self):
+        with pytest.raises(ObsError):
+            parse_prometheus_text("events_total not-a-number")
+
+
+class TestJsonDocument:
+    def test_lossless_round_trip(self):
+        registry = _sample_registry()
+        clone = MetricsRegistry.from_json(
+            json.loads(json.dumps(registry.to_json()))
+        )
+        assert clone.to_prometheus() == registry.to_prometheus()
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry.from_json({"families": [{"name": "x"}]})
+
+    def test_write_selects_format_by_suffix(self, tmp_path):
+        registry = _sample_registry()
+        registry.write(tmp_path / "m.prom")
+        registry.write(tmp_path / "m.json")
+        assert "# TYPE events_total counter" in \
+            (tmp_path / "m.prom").read_text()
+        document = json.loads((tmp_path / "m.json").read_text())
+        assert MetricsRegistry.from_json(document).to_prometheus() == \
+            registry.to_prometheus()
+
+
+class TestMerge:
+    def test_counters_add_gauges_max_histograms_sum(self):
+        left = _sample_registry()
+        right = _sample_registry()
+        right.gauge("depth_high_water").default.set_max(99)
+        left.merge(right)
+        assert left.get("events_total").default.value == 14
+        assert left.get("depth_high_water").default.value == 99
+        hist = left.get("latency_ns").default
+        assert hist.count == 8 and hist.counts == [2, 2, 2, 2]
+        assert left.get("retries_total").labels("read").value == 4
+
+    def test_unknown_families_are_adopted(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        right.counter("only_right").default.inc(3)
+        left.merge(right)
+        assert left.get("only_right").default.value == 3
+
+    def test_bucket_mismatch_is_an_error(self):
+        left = MetricsRegistry()
+        left.histogram("h", buckets=(1, 2)).default.observe(1)
+        right = MetricsRegistry()
+        right.histogram("h", buckets=(1, 3)).default.observe(1)
+        with pytest.raises(ObsError):
+            left.merge(right)
+
+    def test_kind_mismatch_is_an_error(self):
+        left = MetricsRegistry()
+        left.counter("m")
+        right = MetricsRegistry()
+        right.gauge("m").default.set(1)
+        with pytest.raises(ObsError):
+            left.merge(right)
+
+    def test_merge_of_ordered_chunks_is_deterministic(self):
+        """Folding the same chunks in the same (trial) order twice
+        yields byte-identical exports — the property the jobs=N merge
+        relies on."""
+        chunks = []
+        for trial in range(4):
+            registry = MetricsRegistry()
+            registry.counter("events_total").default.inc(trial + 1)
+            registry.gauge("depth").default.set_max(trial * 3)
+            chunks.append(registry.to_json())
+
+        def fold():
+            target = MetricsRegistry()
+            for chunk in chunks:
+                target.merge(MetricsRegistry.from_json(chunk))
+            return target.to_prometheus()
+
+        assert fold() == fold()
+        assert "events_total 10" in fold()
+        assert "depth 9" in fold()

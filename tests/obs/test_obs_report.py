@@ -1,0 +1,167 @@
+"""Tests for the terminal report tool and the rarely-fired hooks.
+
+The integration suite exercises the common path (trials, drains); this
+file pins the long tail: overruns, pauses, squeezes, adaptive-drain
+shrink/restore, retries, quarantines, ad-hoc spans, and every branch
+of ``python -m repro.obs.report``.
+"""
+
+import pytest
+
+from repro.obs import hooks, report
+
+
+@pytest.fixture
+def recorder():
+    return hooks.Recorder()
+
+
+# ----------------------------------------------------------------------
+# Rare hook surface: every hook mutates its metric (and trace, where
+# one is emitted) exactly as advertised.
+# ----------------------------------------------------------------------
+class TestRareHooks:
+    def test_queue_compacted(self, recorder):
+        recorder.queue_compacted(dead=64, remaining=10)
+        assert recorder._compactions.value == 1.0
+
+    def test_timer_overrun_counts_and_traces(self, recorder):
+        recorder.timer_overrun("kleb", when=5_000, skipped=3)
+        assert recorder._timer_overruns.value == 1.0
+        assert recorder._timer_skipped.value == 3.0
+        assert len(recorder.tracer) == 1
+
+    def test_timer_overrun_without_tracer(self):
+        recorder = hooks.Recorder(trace=False)
+        recorder.timer_overrun("kleb", when=5_000, skipped=2)
+        assert recorder._timer_skipped.value == 2.0
+
+    def test_buffer_episode_counters(self, recorder):
+        recorder.buffer_dropped()
+        recorder.buffer_paused()
+        recorder.buffer_resumed()
+        recorder.buffer_squeezed(capacity=8)
+        assert recorder._buffer_drops.value == 1.0
+        assert recorder._buffer_pauses.value == 1.0
+        assert recorder._buffer_resumes.value == 1.0
+        assert recorder._buffer_squeezes.value == 1.0
+
+    def test_drain_shrink_restore(self, recorder):
+        recorder.drain_shrunk(now=1_000, interval_ns=50_000)
+        recorder.drain_restored(now=2_000, interval_ns=100_000)
+        assert recorder._drain_shrinks.value == 1.0
+        assert recorder._drain_restores.value == 1.0
+        assert len(recorder.tracer) == 2
+
+    def test_drain_shrink_restore_without_tracer(self):
+        recorder = hooks.Recorder(trace=False)
+        recorder.drain_shrunk(now=1_000, interval_ns=50_000)
+        recorder.drain_restored(now=2_000, interval_ns=100_000)
+        assert recorder._drain_restores.value == 1.0
+
+    def test_trial_retry_and_quarantine(self, recorder):
+        recorder.trial_retry(trial=3, attempt=1, kind="crash")
+        recorder.trial_quarantined(trial=3, attempts=3)
+        assert recorder._trial_retries.value == 1.0
+        assert recorder._trials_quarantined.value == 1.0
+        assert len(recorder.tracer) == 2
+
+    def test_trial_retry_without_tracer(self):
+        recorder = hooks.Recorder(trace=False)
+        recorder.trial_retry(trial=0, attempt=1, kind="timeout")
+        recorder.trial_quarantined(trial=0, attempts=3)
+        assert recorder._trial_retries.value == 1.0
+
+    def test_ad_hoc_span_roundtrip(self, recorder):
+        handle = recorder.begin_span("phase", "engine", 1_000,
+                                     {"k": "v"})
+        assert handle is not None
+        recorder.end_span(handle, 4_000)
+        assert len(recorder.tracer) == 1
+
+    def test_ad_hoc_span_without_tracer(self):
+        recorder = hooks.Recorder(trace=False)
+        handle = recorder.begin_span("phase", "engine", 1_000)
+        assert handle is None
+        recorder.end_span(handle, 4_000)   # no-op, must not raise
+
+
+# ----------------------------------------------------------------------
+# Report tool
+# ----------------------------------------------------------------------
+def _faulted_recorder(faults=3):
+    recorder = hooks.Recorder()
+    recorder.trial_span(trial=0, seed=7, program="matmul", tool="k-leb",
+                        wall_ns=2_000_000, samples=20)
+    recorder.drain_cycle(start_ns=1_000, end_ns=51_000, batch=5,
+                         paused=False, interval_ns=100_000)
+    for index in range(faults):
+        recorder.fault_landed(time_ns=1_000 * (index + 1),
+                              site="hrtimer", kind="jitter")
+    return recorder
+
+
+class TestFormatNs:
+    @pytest.mark.parametrize("value_us, expected", [
+        (0.5, "500 ns"),
+        (2.0, "2.000 us"),
+        (2_000.0, "2.000 ms"),
+        (2_000_000.0, "2.000 s"),
+    ])
+    def test_adaptive_unit(self, value_us, expected):
+        assert report._format_ns(value_us) == expected
+
+
+class TestSummaries:
+    def test_no_spans(self):
+        assert report.summarize_spans([]) == "no spans recorded"
+
+    def test_no_faults(self):
+        assert report.summarize_faults([]) == "no faults recorded"
+
+    def test_no_drain_metrics(self):
+        assert report.summarize_drain({}) == \
+            "no drain-cycle metrics recorded"
+
+    def test_fault_timeline_truncates(self, tmp_path):
+        recorder = _faulted_recorder(faults=report._TIMELINE_MAX + 5)
+        trace = tmp_path / "t.json"
+        recorder.write_trace(trace)
+        text = report.render(str(trace), None)
+        assert f"({report._TIMELINE_MAX + 5} faults)" in text
+        assert "... and 5 more" in text
+
+    def test_render_trace_and_metrics(self, tmp_path):
+        recorder = _faulted_recorder()
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.prom"
+        recorder.write_trace(trace)
+        recorder.write_metrics(metrics)
+        text = report.render(str(trace), str(metrics))
+        assert "Top spans by simulated time" in text
+        assert "Drain batch size" in text
+        assert "Fault timeline (3 faults)" in text
+        assert "jitter" in text and "hrtimer" in text
+
+
+class TestMain:
+    def test_prints_report(self, tmp_path, capsys):
+        recorder = _faulted_recorder()
+        trace = tmp_path / "t.json"
+        recorder.write_trace(trace)
+        assert report.main(["--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Top spans by simulated time" in out
+
+    def test_metrics_only(self, tmp_path, capsys):
+        recorder = _faulted_recorder()
+        metrics = tmp_path / "m.prom"
+        recorder.write_metrics(metrics)
+        assert report.main(["--metrics", str(metrics)]) == 0
+        assert "Drain" in capsys.readouterr().out
+
+    def test_requires_an_input(self, capsys):
+        with pytest.raises(SystemExit):
+            report.main([])
+        assert "need --trace and/or --metrics" in \
+            capsys.readouterr().err

@@ -1,0 +1,181 @@
+"""Unit tests for scripts/coverage_gate.py (loaded by file path —
+``scripts/`` is deliberately not a package)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "coverage_gate",
+    Path(__file__).resolve().parent.parent / "scripts" / "coverage_gate.py",
+)
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+# ----------------------------------------------------------------------
+# Executable-line analysis
+# ----------------------------------------------------------------------
+class TestExecutableLines:
+    def test_counts_code_not_blanks_or_comments(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "x = 1\n"
+            "\n"
+            "# a comment\n"
+            "def f():\n"
+            "    return x\n"
+        )
+        lines = gate.executable_lines(path)
+        assert 1 in lines          # x = 1
+        assert 4 in lines          # def f():
+        assert 5 in lines          # return x
+        assert 2 not in lines and 3 not in lines
+
+    def test_nested_functions_are_included(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+        )
+        lines = gate.executable_lines(path)
+        assert {1, 2, 3, 4} <= lines
+
+    def test_pragma_no_cover_excludes_whole_block(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "x = 1\n"
+            "if x:  # pragma: no cover\n"
+            "    y = 2\n"
+            "    z = 3\n"
+            "w = 4\n"
+        )
+        lines = gate.executable_lines(path)
+        assert 1 in lines and 5 in lines
+        assert lines.isdisjoint({2, 3, 4})
+
+
+# ----------------------------------------------------------------------
+# Document building and normalization
+# ----------------------------------------------------------------------
+def _native_doc(percent_by_file):
+    files = {}
+    executable = 0
+    executed = 0
+    for path, (hit, total) in percent_by_file.items():
+        files[path] = {
+            "executable": total,
+            "executed": hit,
+            "percent": round(100.0 * hit / total, 2),
+        }
+        executable += total
+        executed += hit
+    return {
+        "schema": 1,
+        "totals": {
+            "executable": executable,
+            "executed": executed,
+            "percent": round(100.0 * executed / executable, 2),
+        },
+        "files": files,
+    }
+
+
+class TestBuildDocument:
+    def test_totals_and_relative_paths(self, tmp_path, monkeypatch):
+        source = tmp_path / "pkg"
+        source.mkdir()
+        (source / "a.py").write_text("x = 1\ny = 2\n")
+        (source / "b.py").write_text("z = 3\n")
+        monkeypatch.setattr(gate, "REPO_ROOT", tmp_path)
+        executed = {str((source / "a.py").resolve()): {1}}
+        document = gate.build_document(source, executed)
+        assert document["files"]["pkg/a.py"]["executed"] == 1
+        assert document["files"]["pkg/b.py"]["executed"] == 0
+        assert document["totals"] == {
+            "executable": 3, "executed": 1, "percent": 33.33,
+        }
+
+
+class TestNormalize:
+    def test_native_schema_passes_through(self):
+        document = _native_doc({"src/a.py": (1, 2)})
+        assert gate.normalize(document) is document
+
+    def test_coverage_py_json_is_converted(self):
+        document = {
+            "meta": {"version": "7.0"},
+            "totals": {"percent_covered": 75.0},
+            "files": {
+                "src/a.py": {"summary": {
+                    "num_statements": 4,
+                    "covered_lines": 3,
+                    "percent_covered": 75.0,
+                }},
+            },
+        }
+        normalized = gate.normalize(document)
+        assert normalized["totals"]["percent"] == 75.0
+        assert normalized["files"]["src/a.py"] == {
+            "executable": 4, "executed": 3, "percent": 75.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+class TestCheck:
+    def test_passes_when_unchanged(self, capsys):
+        document = _native_doc({"src/repro/obs/a.py": (95, 100)})
+        assert gate.check(document, document, 1.0,
+                          [("src/repro/obs", 90.0)]) == 0
+        assert "coverage gate passed" in capsys.readouterr().out
+
+    def test_fails_on_total_drop_beyond_budget(self):
+        baseline = _native_doc({"src/a.py": (90, 100)})
+        current = _native_doc({"src/a.py": (80, 100)})
+        assert gate.check(current, baseline, 1.0, []) == 1
+
+    def test_small_drop_within_budget_passes(self):
+        baseline = _native_doc({"src/a.py": (905, 1000)})
+        current = _native_doc({"src/a.py": (900, 1000)})
+        assert gate.check(current, baseline, 1.0, []) == 0
+
+    def test_fails_below_package_floor(self):
+        document = _native_doc({"src/repro/obs/a.py": (80, 100)})
+        assert gate.check(document, document, 1.0,
+                          [("src/repro/obs", 90.0)]) == 1
+
+    def test_fails_when_floor_prefix_has_no_files(self):
+        document = _native_doc({"src/a.py": (9, 10)})
+        assert gate.check(document, document, 1.0,
+                          [("src/repro/obs", 90.0)]) == 1
+
+    def test_package_percent_aggregates_prefix(self):
+        document = _native_doc({
+            "src/repro/obs/a.py": (9, 10),
+            "src/repro/obs/b.py": (0, 10),
+            "src/repro/other.py": (10, 10),
+        })
+        assert gate.package_percent(document, "src/repro/obs") == 45.0
+        assert gate.package_percent(document, "missing") is None
+
+
+class TestCli:
+    def test_parse_floor(self):
+        assert gate.parse_floor("src/repro/obs=90") == ("src/repro/obs", 90.0)
+        with pytest.raises(Exception):
+            gate.parse_floor("nofloor")
+
+    def test_check_subcommand_roundtrip(self, tmp_path):
+        document = _native_doc({"src/a.py": (9, 10)})
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(document))
+        baseline.write_text(json.dumps(document))
+        assert gate.main(["check", str(current),
+                          "--baseline", str(baseline)]) == 0

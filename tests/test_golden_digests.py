@@ -29,6 +29,7 @@ import pytest
 from repro.experiments import fig9
 from repro.experiments.runner import run_monitored, run_trials
 from repro.faults import FaultPlan, RunLedger
+from repro.obs import hooks as obs_hooks
 from repro.sim.clock import ms, us
 from repro.tools.base import ToolReport
 from repro.tools.registry import create_tool
@@ -69,6 +70,10 @@ def report_document(report: ToolReport) -> Dict:
 def _sha256(document) -> str:
     payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 def digest_report(report: ToolReport) -> str:
@@ -160,12 +165,36 @@ def compute_fault_digests() -> Dict[str, str]:
     }
 
 
+def compute_obs_digests() -> Dict[str, str]:
+    """Trace/metrics exports of a pinned-seed obs-enabled population.
+
+    The exports are a pure function of the simulated run (no wall
+    clock), so their digests pin both the recorded event stream and
+    the canonical serialization across Python versions.
+    """
+    recorder = obs_hooks.Recorder()
+    obs_hooks.install(recorder)
+    try:
+        run_trials(
+            TripleLoopMatmul(128), create_tool("k-leb"), runs=2,
+            events=_TABLE2_EVENTS, period_ns=ms(10), base_seed=11,
+            jobs=1,
+        )
+    finally:
+        obs_hooks.reset()
+    return {
+        "obs/trace": _sha256_text(recorder.tracer.to_chrome_json()),
+        "obs/metrics": _sha256_text(recorder.registry.to_prometheus()),
+    }
+
+
 def compute_all_digests() -> Dict[str, str]:
     digests: Dict[str, str] = {}
     digests.update(compute_table2_digests())
     digests.update(compute_fig7_digests())
     digests.update(compute_fig9_digests())
     digests.update(compute_fault_digests())
+    digests.update(compute_obs_digests())
     return digests
 
 
@@ -205,6 +234,38 @@ def test_fault_digests_match_golden(golden):
     computed = compute_fault_digests()
     expected = {key: value for key, value in golden.items()
                 if key.startswith("faults/")}
+    assert computed == expected
+
+
+def test_obs_enabled_report_digest_equals_obs_off(golden):
+    """Recording must never perturb simulated results: the table2
+    k-leb recipe run under a live recorder hashes to the *same* digest
+    the obs-off golden run pinned."""
+    recorder = obs_hooks.Recorder()
+    obs_hooks.install(recorder)
+    try:
+        result = run_monitored(
+            TripleLoopMatmul(192), create_tool("k-leb"),
+            events=_TABLE2_EVENTS, period_ns=ms(10), seed=11,
+        )
+    finally:
+        obs_hooks.reset()
+    digest = _sha256({
+        "report": report_document(result.report),
+        "wall_ns": result.wall_ns,
+        "cpu_ns": result.cpu_ns,
+    })
+    assert digest == golden["table2/k-leb"]
+    # ...and it genuinely recorded while doing so.
+    assert len(recorder.tracer) > 0
+    assert recorder.registry.get(
+        "sim_events_fired_total").default.value > 0
+
+
+def test_obs_digests_match_golden(golden):
+    computed = compute_obs_digests()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("obs/")}
     assert computed == expected
 
 
