@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Lint the hardware event catalogue.
+
+Run in CI (and locally) as::
+
+    PYTHONPATH=src python scripts/check_catalogue.py
+
+Re-checks, independently of the library's own build-time validation,
+the invariants every catalogue row must satisfy: unique names and
+packed select/umask codes, a nonzero counter mask that fits the
+programmable counters, a known kind string, and in-range fixed-counter
+pins.  A lint failure prints every violation (not just the first) and
+exits nonzero.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Tuple
+
+from repro.hw.event_table import ANY, ARCH, RAW_EVENT_TABLE, UARCH
+from repro.hw.pmu import NUM_FIXED, NUM_PROGRAMMABLE
+
+_VALID_KINDS = (ARCH, UARCH)
+_FULL_MASK = (1 << NUM_PROGRAMMABLE) - 1
+
+
+def lint(rows=RAW_EVENT_TABLE) -> List[str]:
+    """Return every catalogue violation as a human-readable line."""
+    problems: List[str] = []
+    if ANY != _FULL_MASK:
+        problems.append(
+            f"ANY mask {ANY:#06b} does not cover the "
+            f"{NUM_PROGRAMMABLE} programmable counters"
+        )
+    seen_names: Dict[str, int] = {}
+    seen_codes: Dict[int, str] = {}
+    for position, row in enumerate(rows):
+        if len(row) != 7:
+            problems.append(f"row {position}: expected 7 fields, got "
+                            f"{len(row)}")
+            continue
+        name, select, umask, kind, mask, fixed, description = row
+        where = f"row {position} ({name})"
+        if not name or name != name.upper():
+            problems.append(f"{where}: name must be non-empty upper-case")
+        if name in seen_names:
+            problems.append(
+                f"{where}: duplicate name (first at row {seen_names[name]})"
+            )
+        seen_names.setdefault(name, position)
+        if not 0 <= select <= 0xFF or not 0 <= umask <= 0xFF:
+            problems.append(f"{where}: select/umask must fit one byte, "
+                            f"got select={select:#x} umask={umask:#x}")
+        code = (umask << 8) | select
+        if code in seen_codes:
+            problems.append(
+                f"{where}: packed code {code:#06x} already used by "
+                f"{seen_codes[code]!r}"
+            )
+        seen_codes.setdefault(code, name)
+        if kind not in _VALID_KINDS:
+            problems.append(f"{where}: unknown kind {kind!r} "
+                            f"(expected one of {_VALID_KINDS})")
+        if not 0 < mask <= _FULL_MASK:
+            problems.append(
+                f"{where}: counter mask {mask:#06b} must be nonzero and "
+                f"within {_FULL_MASK:#06b}"
+            )
+        if fixed is not None and not 0 <= fixed < NUM_FIXED:
+            problems.append(f"{where}: fixed counter {fixed} out of range "
+                            f"0..{NUM_FIXED - 1}")
+        if not description:
+            problems.append(f"{where}: missing description")
+    return problems
+
+
+def main() -> int:
+    problems = lint()
+    if problems:
+        for line in problems:
+            print(f"catalogue lint: {line}", file=sys.stderr)
+        return 1
+    print(f"catalogue lint: {len(RAW_EVENT_TABLE)} events OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,9 +3,12 @@
 Usage::
 
     kleb-repro list
+    kleb-repro list-events [--kind arch|uarch]
     kleb-repro run table1 [--seed N] [--runs N] [--period-ms F]
     kleb-repro run-all [--quick]
     kleb-repro monitor --workload matmul --tool k-leb --period-ms 10
+    kleb-repro monitor --tool k-leb --events L1D_MISSES,L2_MISSES,... \
+        --multiplex 1.0
 
 ``run`` executes one paper table/figure reproduction and prints the
 paper-style text output; ``monitor`` runs a single monitored trial and
@@ -19,8 +22,9 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.timeseries import deltas, find_gaps, samples_to_series
-from repro.errors import FaultError
+from repro.errors import FaultError, PMUError, ToolError
 from repro.experiments import EXPERIMENTS
+from repro.hw import events as hw_events
 from repro.experiments.report import sparkline, text_table
 from repro.experiments.runner import run_monitored
 from repro.faults import FaultInjector, FaultPlan, RunLedger
@@ -55,6 +59,7 @@ _QUICK_KWARGS = {
     "fig8": {"runs": 5},
     "fig9": {},
     "crosscheck": {},
+    "multiplex": {"n": 128, "rotation_periods_ns": (ms(1), ms(0.5), ms(0.2))},
 }
 
 
@@ -101,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list reproducible tables/figures")
 
+    events_parser = sub.add_parser(
+        "list-events", help="list the hardware event catalogue")
+    events_parser.add_argument(
+        "--kind", choices=("arch", "uarch"), default=None,
+        help="only architectural / microarchitectural events")
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--seed", type=int, default=0)
@@ -134,7 +145,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="k-leb")
     monitor.add_argument("--period-ms", type=float, default=10.0)
     monitor.add_argument("--seed", type=int, default=0)
-    monitor.add_argument("--events", default="LOADS,STORES,BRANCHES,LLC_MISSES")
+    monitor.add_argument("--events", default="LOADS,STORES,BRANCHES,LLC_MISSES",
+                         help="comma-separated catalogue names "
+                              "(see `list-events`); more events than "
+                              "counters needs --multiplex")
+    monitor.add_argument("--multiplex", type=float, default=None,
+                         metavar="MS",
+                         help="rotate event groups every MS milliseconds "
+                              "(k-leb only); totals become scaled estimates")
     monitor.add_argument("--save-json", default=None, metavar="PATH",
                          help="write the full report as JSON")
     monitor.add_argument("--save-csv", default=None, metavar="PATH",
@@ -167,7 +185,7 @@ def _run_experiment(experiment_id: str, seed: int,
     if runs is not None:
         key = {"table1": "trials", "fig4": "trials",
                "fig6": "rounds"}.get(experiment_id, "runs")
-        if experiment_id in ("fig7", "fig9", "crosscheck"):
+        if experiment_id in ("fig7", "fig9", "crosscheck", "multiplex"):
             pass  # single-run experiments
         else:
             kwargs[key] = runs
@@ -185,6 +203,34 @@ def _cmd_list() -> int:
             for entry in EXPERIMENTS.values()]
     print(text_table(["id", "description"], rows,
                      title="Reproducible tables and figures"))
+    return 0
+
+
+_KIND_FLAGS = {"arch": hw_events.EventKind.ARCHITECTURAL,
+               "uarch": hw_events.EventKind.MICROARCHITECTURAL}
+
+
+def _catalogue_table(kind: Optional[str] = None) -> str:
+    """The event catalogue grouped by kind, as printable text."""
+    sections = []
+    for flag, event_kind in _KIND_FLAGS.items():
+        if kind is not None and flag != kind:
+            continue
+        group = hw_events.events_by_kind()[event_kind]
+        rows = [[event.name, f"{event.code:#06x}",
+                 f"{event.counter_mask:#06b}"
+                 if event.fixed_counter is None
+                 else f"fixed{event.fixed_counter}",
+                 event.description]
+                for event in group]
+        sections.append(text_table(
+            ["event", "code", "counters", "description"], rows,
+            title=f"{event_kind.value} events ({len(rows)})"))
+    return "\n\n".join(sections)
+
+
+def _cmd_list_events(args: argparse.Namespace) -> int:
+    print(_catalogue_table(args.kind))
     return 0
 
 
@@ -218,15 +264,39 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 def _cmd_monitor(args: argparse.Namespace) -> int:
     program = _WORKLOADS[args.workload]()
     events = tuple(part.strip() for part in args.events.split(",") if part)
+    try:
+        for name in events:
+            hw_events.lookup(name)
+    except PMUError as error:
+        # A typo'd event name gets the suggestion plus the catalogue
+        # grouped by kind, not a stack trace.
+        print(f"error: {error}\n", file=sys.stderr)
+        print(_catalogue_table(), file=sys.stderr)
+        return 2
+    if args.multiplex is not None:
+        if args.tool != "k-leb":
+            raise SystemExit(
+                f"--multiplex is only supported by the k-leb tool, "
+                f"not {args.tool!r}")
+        from repro.tools.kleb.tool import KLebTool
+
+        tool = KLebTool(multiplex_period_ns=ms(args.multiplex))
+    else:
+        tool = create_tool(args.tool)
     injector: Optional[FaultInjector] = None
     if args.faults is not None:
         # A single in-process trial: kernel-layer faults apply; the
         # trial-level crash/timeout knobs only matter under `run`.
         injector = FaultInjector(args.faults)
-    result = run_monitored(
-        program, create_tool(args.tool), events=events,
-        period_ns=ms(args.period_ms), seed=args.seed, faults=injector,
-    )
+    try:
+        result = run_monitored(
+            program, tool, events=events,
+            period_ns=ms(args.period_ms), seed=args.seed, faults=injector,
+        )
+    except (PMUError, ToolError) as error:
+        # Unsatisfiable counter constraints / too many events without
+        # --multiplex surface as a one-line diagnostic.
+        raise SystemExit(f"error: {error}") from None
     report = result.report
     print(f"workload : {program.name}")
     print(f"tool     : {report.tool} @ {report.period_ns / 1e6:g} ms")
@@ -281,6 +351,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "list-events":
+        return _cmd_list_events(args)
     # Observability is off (null recorder, zero cost) unless asked for.
     recorder = None
     if getattr(args, "trace", None) or getattr(args, "metrics", None):

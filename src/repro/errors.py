@@ -32,6 +32,10 @@ class PMUError(HardwareError):
     """Misconfiguration or misuse of the performance monitoring unit."""
 
 
+class ScheduleError(PMUError):
+    """An event set that cannot be mapped onto legal counters."""
+
+
 class CacheConfigError(HardwareError):
     """An invalid cache geometry (non power-of-two sets, zero ways, ...)."""
 

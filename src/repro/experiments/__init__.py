@@ -17,6 +17,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    multiplex,
     table1,
     table2,
     table3,
@@ -83,6 +84,10 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         ExperimentEntry(
             "crosscheck", "Local vs AWS platform count verification (<1%)",
             crosscheck.run, crosscheck.render,
+        ),
+        ExperimentEntry(
+            "multiplex", "Multiplexed scaled-count error vs rotation period",
+            multiplex.run, multiplex.render,
         ),
     ]
 }

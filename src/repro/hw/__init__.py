@@ -7,8 +7,10 @@ cycles) and four programmable counters configured through event-select
 registers with privilege masks (see DESIGN.md §2).
 """
 
-from repro.hw.events import Event, EventKind, EVENT_CATALOGUE, FIXED_EVENTS
+from repro.hw.events import (Event, EventKind, EVENT_CATALOGUE, FIXED_EVENTS,
+                             build_catalogue, events_by_kind)
 from repro.hw.msr import MsrFile, MSR
+from repro.hw.schedule import CounterAssignment, assign_counters, plan_groups
 from repro.hw.pmu import Pmu, CounterSnapshot, NUM_PROGRAMMABLE, NUM_FIXED
 from repro.hw.cache import CacheConfig, CacheLevel, CacheHierarchy, AccessResult
 from repro.hw.core import Core, ExecResult, ExecStop
@@ -20,6 +22,11 @@ __all__ = [
     "EventKind",
     "EVENT_CATALOGUE",
     "FIXED_EVENTS",
+    "build_catalogue",
+    "events_by_kind",
+    "CounterAssignment",
+    "assign_counters",
+    "plan_groups",
     "MsrFile",
     "MSR",
     "Pmu",

@@ -1,0 +1,345 @@
+"""The committed hardware event table.
+
+This is the data the catalogue in :mod:`repro.hw.events` is built
+from, modelled on the event tables real tools ship: likwid's
+``pm_arch_events`` hash table (name -> {select, umask}) and
+rust-perfcnt's ``IntelPerformanceCounterDescription`` with its
+``Counter::Fixed``/``Counter::Programmable`` bit-masks.  Each row is
+
+    (name, select, umask, kind, counter_mask, fixed_counter, description)
+
+where
+
+* ``select``/``umask`` are the PERFEVTSEL bits 0-7 / 8-15 — the packed
+  ``(umask << 8) | select`` code is what a driver writes to an MSR and
+  must be unique across the table;
+* ``kind`` is ``"arch"`` (architectural: a deterministic property of
+  the retired instruction stream) or ``"uarch"`` (microarchitectural:
+  depends on machine state — caches, predictors, ports);
+* ``counter_mask`` is the bit-mask of *programmable* counters the
+  event may be scheduled on (bit ``i`` = IA32_PMCi is legal), the
+  likwid/rust-perfcnt counter-constraint idiom.  Most events count
+  anywhere (``0b1111``); port-, divider- and offcore-style events are
+  restricted exactly as on real parts, which is what the constraint
+  scheduler in :mod:`repro.hw.schedule` has to solve around;
+* ``fixed_counter`` pins the event to one of the three fixed-function
+  counters (IA32_FIXED_CTR0..2) when not ``None``; such events are
+  counted continuously and never consume a programmable slot.
+
+Select codes follow the Intel architectural performance monitoring
+encodings where one exists (Nehalem-era tables, matching the paper's
+i7-920); the remainder use stable synthetic codes.  The table is
+linted by ``scripts/check_catalogue.py`` in CI: unique names, unique
+packed codes, in-range masks, known kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+ARCH = "arch"
+UARCH = "uarch"
+
+# All four programmable counters (must equal (1 << pmu.NUM_PROGRAMMABLE) - 1;
+# asserted by the catalogue lint).
+ANY = 0b1111
+# Real-hardware style restrictions: load-port events live on the first
+# counter pair, store-port events on the second, divider and offcore
+# response events on a single counter.
+PMC01 = 0b0011
+PMC23 = 0b1100
+PMC0 = 0b0001
+PMC1 = 0b0010
+
+Row = Tuple[str, int, int, str, int, Optional[int], str]
+
+RAW_EVENT_TABLE: Tuple[Row, ...] = (
+    # ------------------------------------------------------------------
+    # The original hand-rolled catalogue (codes unchanged: these names
+    # appear in golden digests and every experiment recipe).  All keep
+    # the unrestricted mask the old fixed counter layout implied.
+    # ------------------------------------------------------------------
+    ("INST_RETIRED", 0xC0, 0x00, ARCH, ANY, 0, "Instructions retired"),
+    ("CORE_CYCLES", 0x3C, 0x00, ARCH, ANY, 1, "Unhalted core clock cycles"),
+    ("REF_CYCLES", 0x3C, 0x01, ARCH, ANY, 2,
+     "Unhalted reference (TSC-rate) cycles"),
+    ("BRANCHES", 0xC4, 0x00, ARCH, ANY, None, "Branch instructions retired"),
+    ("LOADS", 0xD0, 0x81, ARCH, ANY, None, "Load instructions retired"),
+    ("STORES", 0xD0, 0x82, ARCH, ANY, None, "Store instructions retired"),
+    ("ARITH_MUL", 0x14, 0x01, ARCH, ANY, None,
+     "Arithmetic multiply operations"),
+    ("FP_OPS", 0x10, 0x01, ARCH, ANY, None, "Floating-point operations"),
+    ("BRANCH_MISSES", 0xC5, 0x00, UARCH, ANY, None,
+     "Mispredicted branches retired"),
+    ("LLC_REFERENCES", 0x2E, 0x4F, UARCH, ANY, None,
+     "Last-level cache references"),
+    ("LLC_MISSES", 0x2E, 0x41, UARCH, ANY, None, "Last-level cache misses"),
+    ("L1D_MISSES", 0x51, 0x01, UARCH, ANY, None, "L1 data cache misses"),
+    ("L2_MISSES", 0x24, 0xAA, UARCH, ANY, None, "L2 cache misses"),
+    ("DTLB_MISSES", 0x49, 0x01, UARCH, ANY, None, "Data TLB misses"),
+    ("STALL_CYCLES", 0xA2, 0x01, UARCH, ANY, None, "Resource stall cycles"),
+    ("CACHE_FLUSHES", 0xF8, 0x01, UARCH, ANY, None,
+     "Cache line flush operations"),
+    # ------------------------------------------------------------------
+    # Retired branch breakdown (BR_INST_RETIRED.*): architectural —
+    # a pure function of the executed instruction stream.
+    # ------------------------------------------------------------------
+    ("BR_COND_RETIRED", 0xC4, 0x01, ARCH, ANY, None,
+     "Conditional branch instructions retired"),
+    ("BR_NEAR_CALL_RETIRED", 0xC4, 0x02, ARCH, ANY, None,
+     "Direct and indirect near calls retired"),
+    ("BR_TAKEN_RETIRED", 0xC4, 0x04, ARCH, ANY, None,
+     "Taken branch instructions retired"),
+    ("BR_NOT_TAKEN_RETIRED", 0xC4, 0x08, ARCH, ANY, None,
+     "Not-taken branch instructions retired"),
+    ("BR_INDIRECT_RETIRED", 0xC4, 0x10, ARCH, ANY, None,
+     "Indirect near branches retired"),
+    ("BR_FAR_RETIRED", 0xC4, 0x20, ARCH, ANY, None,
+     "Far branch transfers retired"),
+    ("BR_RETURN_RETIRED", 0xC4, 0x40, ARCH, ANY, None,
+     "Near return instructions retired"),
+    # Mispredict breakdown: microarchitectural (predictor state).
+    ("BR_COND_MISSES", 0xC5, 0x01, UARCH, ANY, None,
+     "Mispredicted conditional branches retired"),
+    ("BR_NEAR_CALL_MISSES", 0xC5, 0x02, UARCH, ANY, None,
+     "Mispredicted near calls retired"),
+    ("BR_TAKEN_MISSES", 0xC5, 0x04, UARCH, ANY, None,
+     "Mispredicted taken branches retired"),
+    ("BR_INDIRECT_MISSES", 0xC5, 0x10, UARCH, ANY, None,
+     "Mispredicted indirect branches retired"),
+    # ------------------------------------------------------------------
+    # Micro-op flow (UOPS_ISSUED / UOPS_EXECUTED / UOPS_RETIRED).
+    # Port-occupancy events carry the real parts' port restrictions:
+    # load ports on PMC0-1, store/ALU ports on PMC2-3.
+    # ------------------------------------------------------------------
+    ("UOPS_ISSUED_ANY", 0x0E, 0x01, UARCH, ANY, None,
+     "Micro-ops issued by the renamer"),
+    ("UOPS_ISSUED_FUSED", 0x0E, 0x02, UARCH, ANY, None,
+     "Fused micro-ops issued"),
+    ("UOPS_ISSUED_STALL_CYCLES", 0x0E, 0x04, UARCH, ANY, None,
+     "Cycles with no micro-ops issued"),
+    ("UOPS_RETIRED_ANY", 0xC2, 0x01, UARCH, ANY, None,
+     "Micro-ops retired"),
+    ("UOPS_RETIRED_FUSED", 0xC2, 0x02, UARCH, ANY, None,
+     "Fused micro-ops retired"),
+    ("UOPS_RETIRED_MACRO_FUSED", 0xC2, 0x04, UARCH, ANY, None,
+     "Macro-fused micro-ops retired"),
+    ("UOPS_RETIRED_SLOTS", 0xC2, 0x08, UARCH, ANY, None,
+     "Retirement slots used"),
+    ("UOPS_EXEC_PORT0", 0xB1, 0x01, UARCH, PMC01, None,
+     "Micro-ops executed on port 0"),
+    ("UOPS_EXEC_PORT1", 0xB1, 0x02, UARCH, PMC01, None,
+     "Micro-ops executed on port 1"),
+    ("UOPS_EXEC_PORT2", 0xB1, 0x04, UARCH, PMC01, None,
+     "Load micro-ops executed on port 2"),
+    ("UOPS_EXEC_PORT3", 0xB1, 0x08, UARCH, PMC23, None,
+     "Store-address micro-ops executed on port 3"),
+    ("UOPS_EXEC_PORT4", 0xB1, 0x10, UARCH, PMC23, None,
+     "Store-data micro-ops executed on port 4"),
+    ("UOPS_EXEC_PORT5", 0xB1, 0x20, UARCH, PMC23, None,
+     "Micro-ops executed on port 5"),
+    # ------------------------------------------------------------------
+    # L1 data cache (L1D.* / L1D_CACHE_LD.* / L1D_CACHE_ST.*): the
+    # Nehalem L1D unit can only feed the first counter pair.
+    # ------------------------------------------------------------------
+    ("L1D_REPLACEMENTS", 0x51, 0x02, UARCH, PMC01, None,
+     "L1D cache lines replaced"),
+    ("L1D_M_REPLACEMENTS", 0x51, 0x04, UARCH, PMC01, None,
+     "Modified L1D lines replaced"),
+    ("L1D_M_EVICTIONS", 0x51, 0x08, UARCH, PMC01, None,
+     "Modified L1D lines evicted by replacement"),
+    ("L1D_M_SNOOP_EVICTIONS", 0x51, 0x10, UARCH, PMC01, None,
+     "Modified L1D lines evicted by snoop"),
+    ("L1D_LD_HIT_I", 0x40, 0x01, UARCH, PMC01, None,
+     "L1D load lookups hitting Invalid state"),
+    ("L1D_LD_HIT_E", 0x40, 0x02, UARCH, PMC01, None,
+     "L1D load hits in Exclusive state"),
+    ("L1D_LD_HIT_S", 0x40, 0x04, UARCH, PMC01, None,
+     "L1D load hits in Shared state"),
+    ("L1D_LD_HIT_M", 0x40, 0x08, UARCH, PMC01, None,
+     "L1D load hits in Modified state"),
+    ("L1D_LD_MESI", 0x40, 0x0F, UARCH, PMC01, None,
+     "L1D load lookups, all MESI states"),
+    ("L1D_ST_HIT_E", 0x41, 0x02, UARCH, PMC01, None,
+     "L1D store hits in Exclusive state"),
+    ("L1D_ST_HIT_S", 0x41, 0x04, UARCH, PMC01, None,
+     "L1D store hits in Shared state"),
+    ("L1D_ST_HIT_M", 0x41, 0x08, UARCH, PMC01, None,
+     "L1D store hits in Modified state"),
+    ("L1D_ST_MESI", 0x41, 0x0F, UARCH, PMC01, None,
+     "L1D store lookups, all MESI states"),
+    ("L1D_PREFETCH_REQUESTS", 0x4E, 0x01, UARCH, PMC01, None,
+     "L1D hardware prefetch requests dispatched"),
+    ("L1D_PREFETCH_MISSES", 0x4E, 0x02, UARCH, PMC01, None,
+     "L1D hardware prefetch requests missing L1D"),
+    ("L1D_PREFETCH_TRIGGERS", 0x4E, 0x04, UARCH, PMC01, None,
+     "L1D hardware prefetch triggers"),
+    # ------------------------------------------------------------------
+    # L1 instruction cache / front end.
+    # ------------------------------------------------------------------
+    ("L1I_READS", 0x80, 0x01, UARCH, ANY, None,
+     "Instruction fetches from L1I"),
+    ("L1I_MISSES", 0x80, 0x02, UARCH, ANY, None, "L1I fetch misses"),
+    ("L1I_CYCLES_STALLED", 0x80, 0x04, UARCH, ANY, None,
+     "Cycles instruction fetch is stalled"),
+    ("ILD_STALLS", 0x87, 0x01, UARCH, ANY, None,
+     "Instruction length decoder stalls"),
+    ("LSD_UOPS", 0xA8, 0x01, UARCH, ANY, None,
+     "Micro-ops delivered by the loop stream detector"),
+    ("BACLEARS_ANY", 0xE6, 0x01, UARCH, ANY, None,
+     "Front-end resteers from branch address clears"),
+    ("BPU_CLEARS_EARLY", 0xE8, 0x01, UARCH, ANY, None,
+     "Early branch prediction unit clears"),
+    ("BPU_CLEARS_LATE", 0xE8, 0x02, UARCH, ANY, None,
+     "Late branch prediction unit clears"),
+    # ------------------------------------------------------------------
+    # L2 cache (L2_RQSTS.* / L2_DATA_RQSTS.* / L2_WRITE.*).
+    # ------------------------------------------------------------------
+    ("L2_LD_HITS", 0x24, 0x01, UARCH, ANY, None, "L2 demand load hits"),
+    ("L2_LD_MISSES", 0x24, 0x02, UARCH, ANY, None, "L2 demand load misses"),
+    ("L2_RFO_HITS", 0x24, 0x04, UARCH, ANY, None,
+     "L2 request-for-ownership hits"),
+    ("L2_RFO_MISSES", 0x24, 0x08, UARCH, ANY, None,
+     "L2 request-for-ownership misses"),
+    ("L2_IFETCH_HITS", 0x24, 0x10, UARCH, ANY, None,
+     "L2 instruction fetch hits"),
+    ("L2_IFETCH_MISSES", 0x24, 0x20, UARCH, ANY, None,
+     "L2 instruction fetch misses"),
+    ("L2_PREFETCH_HITS", 0x24, 0x40, UARCH, ANY, None, "L2 prefetch hits"),
+    ("L2_PREFETCH_MISSES", 0x24, 0x80, UARCH, ANY, None,
+     "L2 prefetch misses"),
+    ("L2_REFERENCES", 0x24, 0xFF, UARCH, ANY, None, "All L2 requests"),
+    ("L2_DATA_DEMAND_ANY", 0x26, 0x03, UARCH, ANY, None,
+     "L2 demand data requests"),
+    ("L2_DATA_PREFETCH_ANY", 0x26, 0x30, UARCH, ANY, None,
+     "L2 prefetch data requests"),
+    ("L2_DATA_ANY", 0x26, 0xFF, UARCH, ANY, None, "All L2 data requests"),
+    ("L2_WRITE_RFO_ANY", 0x27, 0x0F, UARCH, ANY, None,
+     "L2 demand store RFO requests, all states"),
+    ("L2_WRITE_LOCK_ANY", 0x27, 0xF0, UARCH, ANY, None,
+     "L2 demand lock RFO requests, all states"),
+    ("L2_LINES_IN", 0xF1, 0x07, UARCH, ANY, None, "Lines allocated into L2"),
+    ("L2_LINES_OUT_ANY", 0xF2, 0x0F, UARCH, ANY, None,
+     "Lines evicted from L2"),
+    ("L2_LINES_OUT_DIRTY", 0xF2, 0x0A, UARCH, ANY, None,
+     "Dirty lines evicted from L2"),
+    # ------------------------------------------------------------------
+    # TLBs and page walks.
+    # ------------------------------------------------------------------
+    ("DTLB_LOAD_MISSES", 0x08, 0x01, UARCH, ANY, None,
+     "Load micro-ops missing the DTLB"),
+    ("DTLB_LOAD_WALKS", 0x08, 0x02, UARCH, ANY, None,
+     "DTLB load misses causing a page walk"),
+    ("DTLB_WALK_COMPLETED", 0x49, 0x02, UARCH, ANY, None,
+     "DTLB miss page walks completed"),
+    ("DTLB_WALK_CYCLES", 0x49, 0x04, UARCH, ANY, None,
+     "Cycles spent in DTLB miss page walks"),
+    ("DTLB_STLB_HITS", 0x49, 0x10, UARCH, ANY, None,
+     "DTLB misses hitting the second-level TLB"),
+    ("ITLB_MISSES", 0x85, 0x01, UARCH, ANY, None,
+     "Instruction fetches missing the ITLB"),
+    ("ITLB_WALK_COMPLETED", 0x85, 0x02, UARCH, ANY, None,
+     "ITLB miss page walks completed"),
+    ("ITLB_MISS_RETIRED", 0xC8, 0x20, UARCH, ANY, None,
+     "Retired instructions that missed the ITLB"),
+    # ------------------------------------------------------------------
+    # Retired memory hierarchy outcomes (MEM_LOAD_RETIRED.*): precise
+    # load-latency style events, restricted to the load-port counters.
+    # ------------------------------------------------------------------
+    ("MEM_LOAD_RETIRED_L1D_HIT", 0xCB, 0x01, UARCH, PMC01, None,
+     "Retired loads that hit L1D"),
+    ("MEM_LOAD_RETIRED_L2_HIT", 0xCB, 0x02, UARCH, PMC01, None,
+     "Retired loads that hit L2"),
+    ("MEM_LOAD_RETIRED_LLC_HIT", 0xCB, 0x04, UARCH, PMC01, None,
+     "Retired loads that hit the unshared LLC"),
+    ("MEM_LOAD_RETIRED_OTHER_CORE_HIT", 0xCB, 0x08, UARCH, PMC01, None,
+     "Retired loads served from another core's L2"),
+    ("MEM_LOAD_RETIRED_LLC_MISS", 0xCB, 0x10, UARCH, PMC01, None,
+     "Retired loads that missed the LLC"),
+    ("MEM_LOAD_RETIRED_DTLB_MISS", 0xCB, 0x40, UARCH, PMC01, None,
+     "Retired loads that missed the DTLB"),
+    ("MEM_UNCORE_RETIRED_LOCAL_DRAM", 0x0F, 0x20, UARCH, PMC01, None,
+     "Retired loads served from local DRAM"),
+    ("MEM_UNCORE_RETIRED_REMOTE_DRAM", 0x0F, 0x10, UARCH, PMC01, None,
+     "Retired loads served from remote DRAM"),
+    # ------------------------------------------------------------------
+    # Offcore response matchers: one dedicated matcher register per
+    # counter on real parts — each event is pinned to a single counter.
+    # ------------------------------------------------------------------
+    ("OFFCORE_RESPONSE_0", 0xB7, 0x01, UARCH, PMC0, None,
+     "Offcore response matcher 0 (MSR_OFFCORE_RSP0)"),
+    ("OFFCORE_RESPONSE_1", 0xBB, 0x01, UARCH, PMC1, None,
+     "Offcore response matcher 1 (MSR_OFFCORE_RSP1)"),
+    ("OFFCORE_REQUESTS_DEMAND_RD", 0xB0, 0x01, UARCH, ANY, None,
+     "Offcore demand data read requests"),
+    ("OFFCORE_REQUESTS_DEMAND_RFO", 0xB0, 0x04, UARCH, ANY, None,
+     "Offcore demand RFO requests"),
+    ("OFFCORE_REQUESTS_ANY", 0xB0, 0x80, UARCH, ANY, None,
+     "All offcore requests"),
+    ("OFFCORE_REQUESTS_OUTSTANDING", 0x60, 0x01, UARCH, PMC0, None,
+     "Outstanding offcore demand reads per cycle"),
+    # ------------------------------------------------------------------
+    # Floating point and arithmetic units.  The divider occupancy event
+    # counts only on PMC0, exactly as ARITH.CYCLES_DIV_BUSY does.
+    # ------------------------------------------------------------------
+    ("ARITH_DIV", 0x14, 0x02, ARCH, PMC0, None,
+     "Arithmetic divide operations"),
+    ("ARITH_DIV_BUSY_CYCLES", 0x14, 0x04, UARCH, PMC0, None,
+     "Cycles the divider is busy"),
+    ("FP_MMX_OPS", 0x10, 0x02, ARCH, ANY, None, "MMX integer SIMD ops"),
+    ("FP_SSE_SINGLE", 0x10, 0x04, ARCH, PMC01, None,
+     "SSE scalar/packed single-precision ops"),
+    ("FP_SSE_DOUBLE", 0x10, 0x08, ARCH, PMC01, None,
+     "SSE scalar/packed double-precision ops"),
+    ("FP_X87_OPS", 0x10, 0x20, ARCH, ANY, None, "x87 floating-point ops"),
+    ("FP_ASSISTS", 0x11, 0x01, UARCH, ANY, None,
+     "Floating-point microcode assists"),
+    ("SIMD_PACKED_SINGLE_RETIRED", 0xC7, 0x01, ARCH, ANY, None,
+     "Retired packed single-precision SIMD instructions"),
+    ("SIMD_SCALAR_SINGLE_RETIRED", 0xC7, 0x02, ARCH, ANY, None,
+     "Retired scalar single-precision SIMD instructions"),
+    ("SIMD_PACKED_DOUBLE_RETIRED", 0xC7, 0x04, ARCH, ANY, None,
+     "Retired packed double-precision SIMD instructions"),
+    ("SIMD_SCALAR_DOUBLE_RETIRED", 0xC7, 0x08, ARCH, ANY, None,
+     "Retired scalar double-precision SIMD instructions"),
+    # ------------------------------------------------------------------
+    # Stalls, machine clears and pipeline hygiene.
+    # ------------------------------------------------------------------
+    ("STALLS_LOAD", 0xA2, 0x02, UARCH, ANY, None,
+     "Cycles stalled on pending loads"),
+    ("STALLS_STORE", 0xA2, 0x04, UARCH, ANY, None,
+     "Cycles stalled on the store buffer"),
+    ("STALLS_RS_FULL", 0xA2, 0x08, UARCH, ANY, None,
+     "Cycles the reservation station is full"),
+    ("STALLS_ROB_FULL", 0xA2, 0x10, UARCH, ANY, None,
+     "Cycles the reorder buffer is full"),
+    ("STALLS_FPCW", 0xA2, 0x20, UARCH, ANY, None,
+     "Cycles stalled on FP control word writes"),
+    ("STALLS_BRANCH_MISPREDICT", 0xA2, 0x40, UARCH, ANY, None,
+     "Cycles stalled recovering from mispredicts"),
+    ("MACHINE_CLEARS_MEM_ORDER", 0xC3, 0x02, UARCH, ANY, None,
+     "Machine clears from memory ordering conflicts"),
+    ("MACHINE_CLEARS_SMC", 0xC3, 0x04, UARCH, ANY, None,
+     "Machine clears from self-modifying code"),
+    ("MACHINE_CLEARS_FP_ASSIST", 0xC3, 0x08, UARCH, ANY, None,
+     "Machine clears from floating-point assists"),
+    ("LOAD_BLOCKS_STORE_FORWARD", 0x03, 0x02, UARCH, ANY, None,
+     "Loads blocked by an unforwardable store"),
+    ("LOAD_BLOCKS_STD", 0x03, 0x08, UARCH, ANY, None,
+     "Loads blocked on store data availability"),
+    ("MISALIGNED_MEM_REFS", 0x05, 0x01, UARCH, ANY, None,
+     "Memory references crossing a cache line"),
+    ("SB_DRAIN_CYCLES", 0x04, 0x01, UARCH, ANY, None,
+     "Cycles draining the store buffer"),
+    # ------------------------------------------------------------------
+    # Clock domain variants and miscellanea.
+    # ------------------------------------------------------------------
+    ("CORE_CYCLES_BUS", 0x3C, 0x02, UARCH, ANY, None,
+     "Unhalted cycles at bus-clock rate"),
+    ("HW_INTERRUPTS", 0x1D, 0x01, UARCH, ANY, None,
+     "Hardware interrupts received"),
+    ("CPUID_INSTRUCTIONS", 0x17, 0x01, ARCH, ANY, None,
+     "CPUID instructions executed"),
+    ("SEGMENT_LOADS", 0x06, 0x01, ARCH, ANY, None,
+     "Segment register loads"),
+)

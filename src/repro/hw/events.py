@@ -9,15 +9,28 @@ instructions retired, loads, stores, branches — from
 (cache misses, branch mispredictions).  The paper's Fig. 9 leans on
 this distinction: cross-tool count comparison is done on architectural
 events because they are reproducible across runs and processors.
+
+The catalogue itself is data-driven: entries are built from the
+committed table in :mod:`repro.hw.event_table` (likwid's
+``pm_arch_events`` / rust-perfcnt descriptor style), and each carries
+the counter-placement constraints the scheduler in
+:mod:`repro.hw.schedule` solves against — a programmable-counter
+legality bit-mask plus optional fixed-counter pinning.  Building the
+catalogue validates it: duplicate names or duplicate packed
+select/umask codes raise :class:`~repro.errors.PMUError` naming both
+offending events rather than silently shadowing one (the failure mode
+of a plain dict comprehension).
 """
 
 from __future__ import annotations
 
+import difflib
 import enum
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PMUError
+from repro.hw.event_table import RAW_EVENT_TABLE, Row
 
 
 class EventKind(enum.Enum):
@@ -25,6 +38,10 @@ class EventKind(enum.Enum):
 
     ARCHITECTURAL = "architectural"
     MICROARCHITECTURAL = "microarchitectural"
+
+
+_KIND_BY_TAG = {"arch": EventKind.ARCHITECTURAL,
+                "uarch": EventKind.MICROARCHITECTURAL}
 
 
 @dataclass(frozen=True)
@@ -37,6 +54,10 @@ class Event:
         umask: unit mask (PERFEVTSEL bits 8-15).
         kind: architectural vs microarchitectural.
         description: human-readable summary.
+        counter_mask: bit-mask of programmable counters the event may
+            be scheduled on (bit ``i`` set = IA32_PMCi is legal).
+        fixed_counter: index of the fixed-function counter the event is
+            pinned to, or ``None`` for programmable-only events.
     """
 
     name: str
@@ -44,60 +65,96 @@ class Event:
     umask: int
     kind: EventKind
     description: str
+    counter_mask: int = 0b1111
+    fixed_counter: Optional[int] = None
 
     @property
     def code(self) -> int:
         """Packed (umask << 8) | select code as written to an MSR."""
         return (self.umask << 8) | self.select
 
-
-def _arch(name: str, select: int, umask: int, description: str) -> Event:
-    return Event(name, select, umask, EventKind.ARCHITECTURAL, description)
-
-
-def _uarch(name: str, select: int, umask: int, description: str) -> Event:
-    return Event(name, select, umask, EventKind.MICROARCHITECTURAL, description)
+    def allows_counter(self, index: int) -> bool:
+        """Whether programmable counter ``index`` may host this event."""
+        return bool(self.counter_mask & (1 << index))
 
 
-# Select/umask codes follow the Intel architectural performance
-# monitoring encodings where one exists; the remainder use stable
-# synthetic codes in the 0xC0-0xFF range.
-EVENT_CATALOGUE: Dict[str, Event] = {
-    event.name: event
-    for event in [
-        _arch("INST_RETIRED", 0xC0, 0x00, "Instructions retired"),
-        _arch("CORE_CYCLES", 0x3C, 0x00, "Unhalted core clock cycles"),
-        _arch("REF_CYCLES", 0x3C, 0x01, "Unhalted reference (TSC-rate) cycles"),
-        _arch("BRANCHES", 0xC4, 0x00, "Branch instructions retired"),
-        _arch("LOADS", 0xD0, 0x81, "Load instructions retired"),
-        _arch("STORES", 0xD0, 0x82, "Store instructions retired"),
-        _arch("ARITH_MUL", 0x14, 0x01, "Arithmetic multiply operations"),
-        _arch("FP_OPS", 0x10, 0x01, "Floating-point operations"),
-        _uarch("BRANCH_MISSES", 0xC5, 0x00, "Mispredicted branches retired"),
-        _uarch("LLC_REFERENCES", 0x2E, 0x4F, "Last-level cache references"),
-        _uarch("LLC_MISSES", 0x2E, 0x41, "Last-level cache misses"),
-        _uarch("L1D_MISSES", 0x51, 0x01, "L1 data cache misses"),
-        _uarch("L2_MISSES", 0x24, 0xAA, "L2 cache misses"),
-        _uarch("DTLB_MISSES", 0x49, 0x01, "Data TLB misses"),
-        _uarch("STALL_CYCLES", 0xA2, 0x01, "Resource stall cycles"),
-        _uarch("CACHE_FLUSHES", 0xF8, 0x01, "Cache line flush operations"),
-    ]
-}
+def _event_from_row(row: Row) -> Event:
+    name, select, umask, kind_tag, counter_mask, fixed_counter, desc = row
+    try:
+        kind = _KIND_BY_TAG[kind_tag]
+    except KeyError:
+        raise PMUError(
+            f"event {name!r} has unknown kind {kind_tag!r} "
+            f"(expected one of {sorted(_KIND_BY_TAG)})") from None
+    return Event(name=name, select=select, umask=umask, kind=kind,
+                 description=desc, counter_mask=counter_mask,
+                 fixed_counter=fixed_counter)
+
+
+def build_catalogue(rows: Iterable[Row]) -> Dict[str, Event]:
+    """Build and validate the name -> :class:`Event` catalogue.
+
+    Raises :class:`~repro.errors.PMUError` on a duplicate event name or
+    a duplicate packed select/umask code, naming both colliding entries
+    — a plain dict comprehension would let the later entry silently
+    shadow the earlier one, corrupting reverse (code -> event) lookups.
+    """
+    catalogue: Dict[str, Event] = {}
+    by_code: Dict[int, Event] = {}
+    for row in rows:
+        event = _event_from_row(row)
+        if event.name in catalogue:
+            raise PMUError(
+                f"duplicate event name {event.name!r} in catalogue")
+        clash = by_code.get(event.code)
+        if clash is not None:
+            raise PMUError(
+                f"events {clash.name!r} and {event.name!r} share packed "
+                f"select/umask code {event.code:#06x} "
+                f"(select={event.select:#04x}, umask={event.umask:#04x})")
+        catalogue[event.name] = event
+        by_code[event.code] = event
+    return catalogue
+
+
+EVENT_CATALOGUE: Dict[str, Event] = build_catalogue(RAW_EVENT_TABLE)
 
 # Events pinned to the three fixed-function counters, in counter order
 # (IA32_FIXED_CTR0..2): instructions retired, unhalted core cycles,
-# unhalted reference cycles.
-FIXED_EVENTS: Tuple[str, str, str] = ("INST_RETIRED", "CORE_CYCLES", "REF_CYCLES")
+# unhalted reference cycles.  Derived from the table's pinning column.
+FIXED_EVENTS: Tuple[str, ...] = tuple(
+    event.name
+    for event in sorted(
+        (e for e in EVENT_CATALOGUE.values() if e.fixed_counter is not None),
+        key=lambda e: e.fixed_counter,
+    )
+)
 
-_BY_CODE: Dict[int, Event] = {event.code: event for event in EVENT_CATALOGUE.values()}
+_BY_CODE: Dict[int, Event] = {
+    event.code: event for event in EVENT_CATALOGUE.values()
+}
+
+
+def suggest(name: str, limit: int = 3) -> Tuple[str, ...]:
+    """Closest catalogue names to ``name``, best first (may be empty)."""
+    return tuple(difflib.get_close_matches(
+        name.upper(), EVENT_CATALOGUE, n=limit, cutoff=0.6))
 
 
 def lookup(name: str) -> Event:
-    """Return the catalogue entry for ``name`` or raise :class:`PMUError`."""
+    """Return the catalogue entry for ``name`` or raise :class:`PMUError`.
+
+    The error message carries closest-match suggestions so a typo'd
+    ``--events`` request is recoverable without digging out the table.
+    """
     try:
         return EVENT_CATALOGUE[name]
     except KeyError:
-        raise PMUError(f"unknown hardware event {name!r}") from None
+        hints = suggest(name)
+        detail = f"unknown hardware event {name!r}"
+        if hints:
+            detail += " (did you mean: " + ", ".join(hints) + "?)"
+        raise PMUError(detail) from None
 
 
 def lookup_code(code: int) -> Event:
@@ -115,3 +172,11 @@ def architectural_events() -> Tuple[str, ...]:
         for name, event in EVENT_CATALOGUE.items()
         if event.kind is EventKind.ARCHITECTURAL
     )
+
+
+def events_by_kind() -> Dict[EventKind, List[Event]]:
+    """The catalogue grouped by kind, each group in table order."""
+    groups: Dict[EventKind, List[Event]] = {kind: [] for kind in EventKind}
+    for event in EVENT_CATALOGUE.values():
+        groups[event.kind].append(event)
+    return groups

@@ -54,6 +54,17 @@ _EVTSEL_MSRS = (
 )
 _FIXED_MSRS = (MSR.IA32_FIXED_CTR0, MSR.IA32_FIXED_CTR1, MSR.IA32_FIXED_CTR2)
 
+_PLAN_CACHE_LIMIT = 128
+
+# (plan_user, plan_kernel, counter_names, pmi_counters, counting)
+_CompiledPlan = Tuple[
+    Dict[str, List[Tuple[bool, int]]],
+    Dict[str, List[Tuple[bool, int]]],
+    Tuple[Optional[str], ...],
+    frozenset,
+    bool,
+]
+
 
 @dataclass(frozen=True)
 class CounterSnapshot:
@@ -85,6 +96,12 @@ class Pmu:
         self._counter_names: Tuple[Optional[str], ...] = (None,) * NUM_PROGRAMMABLE
         self._pmi_counters: frozenset = frozenset()
         self._counting = False
+        # Plans are a pure function of the six control registers, so a
+        # version bump with an already-seen register signature (global
+        # enable/disable toggles per context switch, multiplex rotation
+        # through a small set of groups) reinstalls the compiled plan
+        # instead of re-deriving it.  Bounded FIFO.
+        self._plan_cache: Dict[Tuple[int, ...], _CompiledPlan] = {}
 
     # ------------------------------------------------------------------
     # Register interface (what drivers use)
@@ -94,6 +111,7 @@ class Pmu:
         if address in _PMC_MSRS:
             index = _PMC_MSRS.index(address)
             self._pmc[index] = float(int(value) % _COUNTER_WRAP)
+            self._drop_pending(index)
             return
         if address in _FIXED_MSRS:
             index = _FIXED_MSRS.index(address)
@@ -150,6 +168,12 @@ class Pmu:
         self.wrmsr(_EVTSEL_MSRS[index], value)
         self.wrmsr(_PMC_MSRS[index], 0)
 
+    def disable_counter(self, index: int) -> None:
+        """Clear one programmable counter's event-select register."""
+        if not 0 <= index < NUM_PROGRAMMABLE:
+            raise PMUError(f"no programmable counter {index}")
+        self.wrmsr(_EVTSEL_MSRS[index], 0)
+
     def enable_fixed(self, *, user: bool = True, kernel: bool = False) -> None:
         """Enable all three fixed counters with the given privilege mask."""
         field = (0b10 if user else 0) | (0b01 if kernel else 0)
@@ -181,6 +205,36 @@ class Pmu:
         if not 0 <= index < NUM_PROGRAMMABLE:
             raise PMUError(f"no programmable counter {index}")
         self._pmc[index] = float(int(value) % _COUNTER_WRAP)
+        self._drop_pending(index)
+
+    def _drop_pending(self, index: int) -> None:
+        """Cancel undelivered PMIs for a counter being rewritten.
+
+        A software write re-arms the counter: any overflow the old
+        value produced but has not yet been delivered belongs to the
+        discarded count.  Without this purge, a wrap preload landing in
+        a multiplexing group that is descheduled before the PMI drains
+        would double-deliver the overflow when the group is re-armed.
+        """
+        if self._pending_overflow:
+            self._pending_overflow = [
+                pending for pending in self._pending_overflow
+                if pending != index
+            ]
+
+    def consume_overflow(self, index: int) -> bool:
+        """Read-and-clear the overflow status bit of one programmable
+        counter (the RMW a driver does on IA32_PERF_GLOBAL_STATUS /
+        OVF_CTRL).  Returns whether the bit was set, and clears it so
+        the same wrap can never be accounted twice across rotations."""
+        if not 0 <= index < NUM_PROGRAMMABLE:
+            raise PMUError(f"no programmable counter {index}")
+        status = self.msrs.read(MSR.IA32_PERF_GLOBAL_STATUS)
+        bit = 1 << index
+        if not status & bit:
+            return False
+        self.msrs.write(MSR.IA32_PERF_GLOBAL_STATUS, status & ~bit)
+        return True
 
     def reset_counters(self) -> None:
         """Zero all counter values (config registers untouched)."""
@@ -198,12 +252,23 @@ class Pmu:
         only when a tool reprograms the PMU.  The plan maps event name
         directly to the counters that count it in each ring, so the hot
         path is a dict lookup plus float adds.  The plan is keyed on
-        ``MsrFile.version`` and recompiled on any register write.
+        ``MsrFile.version`` and revalidated on any register write; a
+        previously-seen control-register signature (global enable
+        toggles, multiplex group rotation) reinstalls its cached plan
+        without re-deriving it.
         """
         msrs = self.msrs
         version = msrs.version
         global_ctrl = msrs.read(MSR.IA32_PERF_GLOBAL_CTRL)
         fixed_ctrl = msrs.read(MSR.IA32_FIXED_CTR_CTRL)
+        evtsels = tuple(msrs.read(msr) for msr in _EVTSEL_MSRS)
+        signature = (global_ctrl, fixed_ctrl) + evtsels
+        cached = self._plan_cache.get(signature)
+        if cached is not None:
+            (self._plan_user, self._plan_kernel, self._counter_names,
+             self._pmi_counters, self._counting) = cached
+            self._plan_version = version
+            return
         plan_user: Dict[str, List[Tuple[bool, int]]] = {}
         plan_kernel: Dict[str, List[Tuple[bool, int]]] = {}
 
@@ -219,7 +284,7 @@ class Pmu:
         names: List[Optional[str]] = []
         pmi: List[int] = []
         for index in range(NUM_PROGRAMMABLE):
-            evtsel = msrs.read(_EVTSEL_MSRS[index])
+            evtsel = evtsels[index]
             name: Optional[str] = None
             if evtsel & EVTSEL_EN:
                 code = evtsel & (EVTSEL_EVENT_MASK | EVTSEL_UMASK_MASK)
@@ -243,6 +308,11 @@ class Pmu:
         self._pmi_counters = frozenset(pmi)
         self._counting = global_ctrl != 0
         self._plan_version = version
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[signature] = (plan_user, plan_kernel,
+                                       self._counter_names,
+                                       self._pmi_counters, self._counting)
 
     def accumulate(self, counts: Mapping[str, float], privilege: str) -> None:
         """Add event occurrences observed during an execution slice.

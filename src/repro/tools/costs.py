@@ -61,6 +61,9 @@ KLEB_SETUP_NS = us(400)
 KLEB_FIRST_FIRE_NS = us(400)
 # Controller drains every this-many sample periods (at least one jiffy).
 KLEB_DRAIN_EVERY_PERIODS = 8
+# Multiplexing rotation from the HRTimer handler: reprogram up to four
+# event-select registers, zero the counters, clear overflow status.
+KLEB_ROTATE_NS = us(2)
 
 # ---------------------------------------------------------------------------
 # perf

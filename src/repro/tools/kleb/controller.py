@@ -66,6 +66,11 @@ class ControllerState:
     stop_requested: bool = False
     started: bool = False
     log_bytes: int = 0
+    # Multiplexing accounting captured from the stop ioctl (None when
+    # the run was not multiplexed): group count, rotations, and the
+    # time_enabled / per-group time_running (CORE_CYCLES units) behind
+    # the scaled totals.
+    mux_accounting: Optional[Dict[str, object]] = None
     # Degradation/recovery accounting (all zero on a healthy run).
     ioctl_retries: int = 0
     read_retries: int = 0
@@ -313,6 +318,14 @@ class KLebControllerProgram(Program):
             if module.collecting:
                 module.ioctl("stop")
             state.totals = dict(module.final_totals or {})
+            mux = module.mux
+            if mux is not None:
+                state.mux_accounting = {
+                    "groups": len(mux.plan.groups),
+                    "rotations": mux.rotations,
+                    "time_enabled_cycles": mux.enabled_cycles,
+                    "time_running_cycles": list(mux.running_cycles),
+                }
             return state.totals
 
         yield from self._retrying_ioctl(do_stop, label="ioctl-stop")

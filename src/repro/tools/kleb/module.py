@@ -28,10 +28,15 @@ from repro.kernel.module import KernelModule
 from repro.kernel.process import Task
 from repro.kernel.ringbuffer import RingBuffer
 from repro.kernel.hrtimer import HrTimer
-from repro.hw.pmu import NUM_PROGRAMMABLE
+from repro.hw import events as ev
+from repro.hw import schedule
+from repro.hw.pmu import (COUNTER_WIDTH_BITS, NUM_PROGRAMMABLE,
+                          RDPMC_FIXED_FLAG)
 from repro.sim.clock import us
 from repro.tools import costs
 from repro.tools.base import Sample
+
+_COUNTER_WRAP = 1 << COUNTER_WIDTH_BITS
 
 
 @dataclass
@@ -48,11 +53,14 @@ class KLebModuleConfig:
     period_ns: int = us(100)
     buffer_capacity: int = 4096
     count_kernel: bool = False
+    # When set, event groups rotate round-robin every ``multiplex_period_ns``
+    # of scheduled time (quantized to HRTimer fires) and totals become
+    # perf-style scaled estimates; when ``None`` the event set must fit
+    # the counters and behaviour is byte-identical to the classic module.
+    multiplex_period_ns: Optional[int] = None
 
     def resolved_events(self) -> List[str]:
         """Event names with raw select/umask codes resolved."""
-        from repro.hw import events as ev
-
         names: List[str] = []
         for entry in self.events:
             if isinstance(entry, str):
@@ -65,11 +73,20 @@ class KLebModuleConfig:
     def validate(self) -> None:
         if not self.events:
             raise ToolError("K-LEB needs at least one hardware event")
-        if len(self.events) > NUM_PROGRAMMABLE:
-            raise ToolError(
-                f"K-LEB supports at most {NUM_PROGRAMMABLE} programmable "
-                f"events, got {len(self.events)}"
-            )
+        if self.multiplex_period_ns is None:
+            if len(self.events) > NUM_PROGRAMMABLE:
+                raise ToolError(
+                    f"K-LEB supports at most {NUM_PROGRAMMABLE} programmable "
+                    f"events, got {len(self.events)}; pass a multiplex "
+                    f"period to rotate them"
+                )
+        else:
+            if self.multiplex_period_ns < self.period_ns:
+                raise ToolError(
+                    f"K-LEB multiplex period ({self.multiplex_period_ns} ns) "
+                    f"must be at least one timer period "
+                    f"({self.period_ns} ns)"
+                )
         if self.period_ns <= 0:
             raise ToolError("K-LEB period must be positive")
         if self.buffer_capacity <= 0:
@@ -79,7 +96,13 @@ class KLebModuleConfig:
                 f"K-LEB buffer capacity must be positive, "
                 f"got {self.buffer_capacity}"
             )
-        self.resolved_events()  # raises on unknown names or codes
+        names = self.resolved_events()  # raises on unknown names or codes
+        # Surface an impossible counter constraint at validation time
+        # (ScheduleError names the violating subset).
+        if self.multiplex_period_ns is not None:
+            schedule.plan_groups(names)
+        else:
+            schedule.assign_counters(names)
 
 
 @dataclass
@@ -91,6 +114,40 @@ class KLebStats:
     samples_dropped: int = 0
     pause_episodes: int = 0
     handler_time_ns: int = 0
+    rotations: int = 0
+
+
+@dataclass
+class _MuxState:
+    """Book-keeping for perf-style event-group rotation.
+
+    ``raw`` accumulates each rotated event's observed count across its
+    scheduled windows; ``enabled_cycles``/``running_cycles`` carry the
+    time_enabled / time_running accounting that turns raw counts into
+    scaled estimates at stop.  Time is measured on the fixed
+    CORE_CYCLES counter rather than the wall clock: the fixed counter
+    freezes exactly when the programmable counters freeze (victim
+    descheduled, kernel-mode slices with ``count_kernel`` off), so the
+    extrapolation base matches what the group could actually observe —
+    wall-clock accounting (what perf's task-clock uses) charges
+    interrupt-handler time to whichever group is active and skews the
+    scaled estimates.  ``start`` maps programmable slot -> counter
+    value at the last harvest so each window contributes a delta, with
+    48-bit wraps folded in exactly once via the PMU's read-and-clear
+    overflow status.
+    """
+
+    plan: schedule.GroupPlan
+    rotate_fires: int
+    raw: Dict[str, float]
+    running_cycles: List[int]
+    start: Dict[int, int] = field(default_factory=dict)
+    active: int = 0
+    fires_in_window: int = 0
+    rotations: int = 0
+    enabled_cycles: int = 0
+    # CORE_CYCLES fixed-counter reading at the last harvest.
+    cycles_mark: int = 0
 
 
 def _live_descendants(kernel, root_pid: int) -> set:
@@ -123,6 +180,7 @@ class KLebModule(KernelModule):
         self.collecting = False
         self.stats = KLebStats()
         self.final_totals: Optional[Dict[str, int]] = None
+        self.mux: Optional[_MuxState] = None
         self._probe_handles: List = []
 
     # ------------------------------------------------------------------
@@ -170,16 +228,32 @@ class KLebModule(KernelModule):
         self.buffer = RingBuffer(argument.buffer_capacity)
         pmu = self.kernel.pmu
         pmu.reset_counters()
-        for index, event in enumerate(argument.resolved_events()):
-            pmu.program_counter(index, event, user=True,
-                                kernel=argument.count_kernel)
-            preload = self.kernel.faults.counter_preload(index,
-                                                         self.kernel.now)
-            if preload is not None:
-                # Fault injection: start near the 48-bit ceiling so the
-                # counter wraps mid-run and downstream analysis must
-                # cope with the discontinuity.
-                pmu.write_counter(index, preload)
+        if argument.multiplex_period_ns is not None:
+            plan = schedule.plan_groups(argument.resolved_events())
+            self.mux = _MuxState(
+                plan=plan,
+                rotate_fires=max(1, round(argument.multiplex_period_ns
+                                          / argument.period_ns)),
+                raw={name: 0.0 for name in plan.rotated_names},
+                running_cycles=[0] * len(plan.groups),
+            )
+            self._mux_program_active(preload_faults=True)
+        else:
+            # The constraint scheduler degenerates to the historical
+            # positional layout when every event allows every counter,
+            # so this path stays bit-identical for the legacy catalogue.
+            self.mux = None
+            assignment = schedule.assign_counters(argument.resolved_events())
+            for event, index in assignment.programmable:
+                pmu.program_counter(index, event, user=True,
+                                    kernel=argument.count_kernel)
+                preload = self.kernel.faults.counter_preload(index,
+                                                             self.kernel.now)
+                if preload is not None:
+                    # Fault injection: start near the 48-bit ceiling so
+                    # the counter wraps mid-run and downstream analysis
+                    # must cope with the discontinuity.
+                    pmu.write_counter(index, preload)
         pmu.enable_fixed(user=True, kernel=argument.count_kernel)
         pmu.global_disable()
         return True
@@ -284,19 +358,121 @@ class KLebModule(KernelModule):
     def _pause_counting(self) -> None:
         assert self.timer is not None
         self.timer.cancel()
+        if self.mux is not None:
+            # Harvest the partial window before the counters freeze so
+            # drained samples stay fresh across descheduled stretches.
+            self._mux_harvest()
         self.kernel.pmu.global_disable()
 
     def _stop_collection(self) -> None:
         if self.timer is not None:
             self.timer.cancel()
-        self.final_totals = dict(
-            self.kernel.pmu.snapshot(self.kernel.now).by_event
-        )
+        if self.mux is not None:
+            self._mux_harvest()
+            self.final_totals = self._mux_totals()
+        else:
+            self.final_totals = dict(
+                self.kernel.pmu.snapshot(self.kernel.now).by_event
+            )
         self.kernel.pmu.global_disable()
         for handle in self._probe_handles:
             self.kernel.kprobes.unregister(handle)
         self._probe_handles = []
         self.collecting = False
+
+    # ------------------------------------------------------------------
+    # Time-multiplexing engine (perf-style round-robin rotation)
+    # ------------------------------------------------------------------
+    def _mux_program_active(self, preload_faults: bool = False) -> None:
+        """Program the active group's assignment; unused slots disabled."""
+        assert self.mux is not None and self.config is not None
+        mux = self.mux
+        pmu = self.kernel.pmu
+        group = mux.plan.groups[mux.active]
+        used = {slot for _, slot in group.programmable}
+        for index in range(NUM_PROGRAMMABLE):
+            if index not in used:
+                pmu.disable_counter(index)
+        for name, slot in group.programmable:
+            pmu.program_counter(slot, name, user=True,
+                                kernel=self.config.count_kernel)
+            if preload_faults:
+                preload = self.kernel.faults.counter_preload(
+                    slot, self.kernel.now)
+                if preload is not None:
+                    pmu.write_counter(slot, preload)
+        # Fresh window: deltas restart from the just-written values.
+        mux.start = {slot: pmu.rdpmc(slot) for _, slot in group.programmable}
+
+    def _mux_harvest(self) -> None:
+        """Fold the active group's counter deltas into the raw tallies.
+
+        Each 48-bit wrap is folded in exactly once: the PMU's overflow
+        status bit is read-and-cleared here, and counter *writes* (the
+        re-arm on rotation, fault preloads) cancel any undelivered
+        overflow for the slot — so a wrap preload landing in a group
+        that rotates out before its PMI drains cannot double-deliver.
+        """
+        assert self.mux is not None
+        mux = self.mux
+        pmu = self.kernel.pmu
+        cycles = pmu.rdpmc(1 | RDPMC_FIXED_FLAG)  # fixed CORE_CYCLES
+        elapsed = cycles - mux.cycles_mark
+        if elapsed > 0:
+            mux.enabled_cycles += elapsed
+            mux.running_cycles[mux.active] += elapsed
+        mux.cycles_mark = cycles
+        for name, slot in mux.plan.groups[mux.active].programmable:
+            value = pmu.rdpmc(slot)
+            start = mux.start.get(slot, 0)
+            wrapped = pmu.consume_overflow(slot)
+            delta = value - start
+            if wrapped and value < start:
+                delta += _COUNTER_WRAP
+            if delta:
+                mux.raw[name] += delta
+            mux.start[slot] = value
+
+    def _mux_rotate(self) -> None:
+        """Advance to the next group (called after a harvest)."""
+        assert self.mux is not None
+        mux = self.mux
+        mux.active = (mux.active + 1) % len(mux.plan.groups)
+        mux.fires_in_window = 0
+        mux.rotations += 1
+        self.stats.rotations = mux.rotations
+        # Reprogramming four event-select registers from interrupt
+        # context is the real cost of multiplexing at HRTimer rates.
+        self.kernel.charge_kernel_time(costs.KLEB_ROTATE_NS)
+        self._mux_program_active()
+
+    def _mux_sample_values(self) -> Dict[str, int]:
+        """Fixed counters plus cumulative raw counts of every rotated
+        event (counts observed so far; descheduled events hold still)."""
+        assert self.mux is not None
+        mux = self.mux
+        pmu = self.kernel.pmu
+        values: Dict[str, int] = {}
+        for index, event_name in enumerate(ev.FIXED_EVENTS):
+            values[event_name] = pmu.rdpmc(index | RDPMC_FIXED_FLAG)
+        for name in mux.plan.rotated_names:
+            values[name] = int(mux.raw[name])
+        return values
+
+    def _mux_totals(self) -> Dict[str, int]:
+        """Final totals: exact fixed counts, scaled rotated estimates."""
+        assert self.mux is not None
+        mux = self.mux
+        pmu = self.kernel.pmu
+        totals: Dict[str, int] = {}
+        for index, event_name in enumerate(ev.FIXED_EVENTS):
+            totals[event_name] = pmu.rdpmc(index | RDPMC_FIXED_FLAG)
+        for group_index, group in enumerate(mux.plan.groups):
+            running = mux.running_cycles[group_index]
+            for name, _ in group.programmable:
+                totals[name] = int(round(schedule.scaled_estimate(
+                    mux.raw[name], mux.enabled_cycles, running)))
+        return totals
 
     # ------------------------------------------------------------------
     # HRTimer interrupt handler
@@ -320,9 +496,13 @@ class KLebModule(KernelModule):
             self.buffer.squeeze(squeezed)
         else:
             self.buffer.unsqueeze()
-        snapshot = self.kernel.pmu.snapshot(self.kernel.now)
-        sample = Sample(timestamp=self.kernel.now,
-                        values=dict(snapshot.by_event))
+        if self.mux is not None:
+            self._mux_harvest()
+            values = self._mux_sample_values()
+        else:
+            snapshot = self.kernel.pmu.snapshot(self.kernel.now)
+            values = dict(snapshot.by_event)
+        sample = Sample(timestamp=self.kernel.now, values=values)
         if self.buffer.push(sample):
             self.stats.samples_recorded += 1
         else:
@@ -330,3 +510,7 @@ class KLebModule(KernelModule):
             # sample dropped, collection paused until a drain.
             self.stats.samples_dropped += 1
         self.stats.pause_episodes = self.buffer.pause_episodes
+        if self.mux is not None and len(self.mux.plan.groups) > 1:
+            self.mux.fires_in_window += 1
+            if self.mux.fires_in_window >= self.mux.rotate_fires:
+                self._mux_rotate()

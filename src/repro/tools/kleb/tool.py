@@ -43,6 +43,19 @@ class KLebSession(Session):
             )
         totals = dict(self.state.totals or {})
         stats = self.module.stats
+        metadata_extra = {}
+        mux = self.state.mux_accounting
+        if mux is not None:
+            # Multiplexed runs only: non-multiplexed reports must stay
+            # byte-identical to the pre-multiplexing golden digests.
+            running = mux["time_running_cycles"]
+            metadata_extra = {
+                "multiplex_groups": float(mux["groups"]),
+                "multiplex_rotations": float(mux["rotations"]),
+                "multiplex_enabled_cycles": float(mux["time_enabled_cycles"]),
+                "multiplex_min_running_cycles": float(min(running) if running
+                                                      else 0),
+            }
         return ToolReport(
             tool="k-leb",
             events=self.events,
@@ -71,6 +84,7 @@ class KLebSession(Session):
                 "injected_faults": float(
                     len(self.kernel.faults.ledger.records)
                 ),
+                **metadata_extra,
             },
         )
 
@@ -86,13 +100,17 @@ class KLebTool(MonitoringTool):
     def __init__(self, buffer_capacity: int = 4096,
                  count_kernel: bool = False,
                  drop_module_after: bool = False,
-                 controller_nice: int = 0) -> None:
+                 controller_nice: int = 0,
+                 multiplex_period_ns: Optional[int] = None) -> None:
         self.buffer_capacity = buffer_capacity
         self.count_kernel = count_kernel
         self.drop_module_after = drop_module_after
         # De-prioritizing the controller demonstrates the paper's §III
         # starvation scenario: the module's back-pressure stop engages.
         self.controller_nice = controller_nice
+        # perf-style group rotation: lets the event list exceed the
+        # programmable counters at the cost of scaled (estimated) totals.
+        self.multiplex_period_ns = multiplex_period_ns
 
     def attach(self, kernel: Kernel, task: Task, events: Sequence[str],
                period_ns: int) -> KLebSession:
@@ -108,6 +126,7 @@ class KLebTool(MonitoringTool):
             period_ns=period_ns,
             buffer_capacity=self.buffer_capacity,
             count_kernel=self.count_kernel,
+            multiplex_period_ns=self.multiplex_period_ns,
         )
         state = ControllerState()
         cost_rng = kernel.rng.stream("tool-cost:k-leb")

@@ -149,6 +149,109 @@ class TestOverflow:
         assert delivered == []
 
 
+class TestOverflowRearm:
+    """A wrap-preloaded counter that is rewritten before its PMI is
+    taken must not deliver the stale interrupt (the multiplexing
+    rotation bug: descheduling a group rewrites its counters)."""
+
+    def test_write_counter_cancels_pending_overflow(self, pmu):
+        # No handler attached: the PMI stays pending, as when the
+        # group owning the counter is descheduled before delivery.
+        delivered = []
+        pmu.program_counter(0, "LOADS", interrupt_on_overflow=True)
+        pmu.global_enable()
+        pmu.wrmsr(MSR.IA32_PMC0, (1 << COUNTER_WIDTH_BITS) - 1)
+        pmu.accumulate({"LOADS": 2}, "user")  # wraps; PMI now pending
+        pmu.write_counter(0, 0)               # re-arm before delivery
+        pmu.set_overflow_handler(delivered.append)
+        pmu.accumulate({"LOADS": 1}, "user")
+        assert delivered == []
+
+    def test_wrmsr_pmc_cancels_pending_overflow(self, pmu):
+        delivered = []
+        pmu.program_counter(0, "LOADS", interrupt_on_overflow=True)
+        pmu.global_enable()
+        pmu.wrmsr(MSR.IA32_PMC0, (1 << COUNTER_WIDTH_BITS) - 1)
+        pmu.accumulate({"LOADS": 2}, "user")
+        pmu.wrmsr(MSR.IA32_PMC0, 0)
+        pmu.set_overflow_handler(delivered.append)
+        pmu.accumulate({"LOADS": 1}, "user")
+        assert delivered == []
+
+    def test_other_counters_pending_survives_the_write(self, pmu):
+        delivered = []
+        pmu.program_counter(0, "LOADS", interrupt_on_overflow=True)
+        pmu.program_counter(1, "STORES", interrupt_on_overflow=True)
+        pmu.global_enable()
+        pmu.wrmsr(MSR.IA32_PMC0, (1 << COUNTER_WIDTH_BITS) - 1)
+        pmu.wrmsr(MSR.IA32_PMC1, (1 << COUNTER_WIDTH_BITS) - 1)
+        pmu.accumulate({"LOADS": 2, "STORES": 2}, "user")
+        pmu.write_counter(0, 0)
+        pmu.set_overflow_handler(delivered.append)
+        pmu.accumulate({"LOADS": 1}, "user")
+        assert delivered == [[1]]
+
+    def test_consume_overflow_reads_and_clears(self, pmu):
+        _arm(pmu)
+        pmu.wrmsr(MSR.IA32_PMC0, (1 << COUNTER_WIDTH_BITS) - 1)
+        pmu.accumulate({"LOADS": 2}, "user")
+        assert pmu.consume_overflow(0) is True
+        # The wrap is accounted exactly once.
+        assert pmu.consume_overflow(0) is False
+        assert not pmu.rdmsr(MSR.IA32_PERF_GLOBAL_STATUS) & 1
+
+    def test_consume_overflow_false_when_no_wrap(self, pmu):
+        _arm(pmu)
+        pmu.accumulate({"LOADS": 2}, "user")
+        assert pmu.consume_overflow(0) is False
+
+
+class TestDisableCounter:
+    def test_disable_counter_stops_counting(self, pmu):
+        _arm(pmu)
+        pmu.disable_counter(0)
+        pmu.accumulate({"LOADS": 10}, "user")
+        assert pmu.rdpmc(0) == 0
+        assert pmu.counter_event(0) is None
+
+
+class TestPlanCache:
+    def test_identical_programming_reuses_compiled_plan(self, pmu):
+        _arm(pmu)
+        pmu.accumulate({"LOADS": 1}, "user")
+        assert len(pmu._plan_cache) == 1
+        cached = next(iter(pmu._plan_cache.values()))
+        pmu.global_disable()
+        pmu.global_enable()  # same six control registers again
+        pmu.accumulate({"LOADS": 1}, "user")
+        assert pmu.rdpmc(0) == 2
+        # The re-enable reinstalled the cached plan, not a fresh one.
+        assert len(pmu._plan_cache) == 1
+        assert next(iter(pmu._plan_cache.values())) is cached
+
+    def test_cached_plan_counts_identically(self, pmu):
+        _arm(pmu)
+        pmu.accumulate({"LOADS": 5, "STORES": 3}, "user")
+        before = pmu.rdpmc(0)
+        pmu.program_counter(0, "STORES")
+        pmu.program_counter(0, "LOADS")  # back to the cached signature
+        pmu.accumulate({"LOADS": 5, "STORES": 3}, "user")
+        assert pmu.rdpmc(0) == before  # programming zeroed, then +5
+
+    def test_cache_is_bounded(self, pmu):
+        from repro.hw.pmu import _PLAN_CACHE_LIMIT
+
+        pmu.enable_fixed()
+        pmu.global_enable()
+        names = list(__import__("repro.hw.events",
+                                fromlist=["EVENT_CATALOGUE"])
+                     .EVENT_CATALOGUE)
+        for i in range(_PLAN_CACHE_LIMIT + 20):
+            pmu.program_counter(0, names[i % len(names)])
+            pmu.accumulate({}, "user")
+        assert len(pmu._plan_cache) <= _PLAN_CACHE_LIMIT
+
+
 class TestRdpmc:
     def test_rdpmc_reads_programmable(self, pmu):
         _arm(pmu)

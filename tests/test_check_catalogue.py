@@ -1,0 +1,76 @@
+"""The catalogue lint script catches every malformed-row class."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_catalogue",
+    Path(__file__).parent.parent / "scripts" / "check_catalogue.py",
+)
+check_catalogue = importlib.util.module_from_spec(_SPEC)
+sys.modules["check_catalogue"] = check_catalogue
+_SPEC.loader.exec_module(check_catalogue)
+
+GOOD = ("EVT_GOOD", 0xD0, 0x01, "uarch", 0b1111, None, "fine")
+
+
+class TestLint:
+    def test_committed_table_is_clean(self):
+        assert check_catalogue.lint() == []
+
+    def test_main_exits_zero_on_clean_table(self, capsys):
+        assert check_catalogue.main() == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_duplicate_name_flagged(self):
+        rows = (GOOD, ("EVT_GOOD", 0xD1, 0x01, "uarch", 0b1111, None, "dup"))
+        problems = check_catalogue.lint(rows)
+        assert any("duplicate name" in line for line in problems)
+
+    def test_duplicate_code_flagged(self):
+        rows = (GOOD, ("EVT_OTHER", 0xD0, 0x01, "uarch", 0b1111, None, "dup"))
+        problems = check_catalogue.lint(rows)
+        assert any("already used" in line for line in problems)
+
+    def test_zero_mask_flagged(self):
+        rows = (("EVT_BAD", 0xD0, 0x01, "uarch", 0, None, "x"),)
+        assert any("counter mask" in line
+                   for line in check_catalogue.lint(rows))
+
+    def test_oversized_mask_flagged(self):
+        rows = (("EVT_BAD", 0xD0, 0x01, "uarch", 0b11111, None, "x"),)
+        assert any("counter mask" in line
+                   for line in check_catalogue.lint(rows))
+
+    def test_unknown_kind_flagged(self):
+        rows = (("EVT_BAD", 0xD0, 0x01, "weird", 0b1111, None, "x"),)
+        assert any("unknown kind" in line
+                   for line in check_catalogue.lint(rows))
+
+    def test_fixed_out_of_range_flagged(self):
+        rows = (("EVT_BAD", 0xD0, 0x01, "arch", 0b1111, 3, "x"),)
+        assert any("out of range" in line
+                   for line in check_catalogue.lint(rows))
+
+    def test_byte_overflow_flagged(self):
+        rows = (("EVT_BAD", 0x1D0, 0x01, "uarch", 0b1111, None, "x"),)
+        assert any("fit one byte" in line
+                   for line in check_catalogue.lint(rows))
+
+    def test_lowercase_name_flagged(self):
+        rows = (("evt_bad", 0xD0, 0x01, "uarch", 0b1111, None, "x"),)
+        assert any("upper-case" in line
+                   for line in check_catalogue.lint(rows))
+
+    def test_short_row_flagged(self):
+        rows = (("EVT_BAD", 0xD0, 0x01, "uarch", 0b1111, None),)
+        assert any("7 fields" in line for line in check_catalogue.lint(rows))
+
+    def test_all_violations_reported_not_just_first(self):
+        rows = (
+            ("EVT_A", 0xD0, 0x01, "weird", 0, None, "x"),
+            ("EVT_A", 0xD0, 0x01, "uarch", 0b1111, 9, "y"),
+        )
+        problems = check_catalogue.lint(rows)
+        assert len(problems) >= 4

@@ -14,6 +14,23 @@ class TestList:
             assert experiment_id in out
 
 
+class TestListEvents:
+    def test_list_events_shows_catalogue(self, capsys):
+        assert main(["list-events"]) == 0
+        out = capsys.readouterr().out
+        assert "LLC_MISSES" in out
+        assert "INST_RETIRED" in out
+        assert "fixed0" in out          # pinned events show their slot
+        assert "architectural" in out
+        assert "microarchitectural" in out
+
+    def test_list_events_kind_filter(self, capsys):
+        assert main(["list-events", "--kind", "arch"]) == 0
+        out = capsys.readouterr().out
+        assert "INST_RETIRED" in out
+        assert "microarchitectural" not in out
+
+
 class TestMonitor:
     def test_monitor_matmul_kleb(self, capsys):
         code = main(["monitor", "--workload", "matmul", "--tool", "k-leb",
@@ -36,6 +53,39 @@ class TestMonitor:
         out = capsys.readouterr().out
         assert "LLC_MISSES" in out
 
+    def test_monitor_unknown_event_suggests_and_lists(self, capsys):
+        code = main(["monitor", "--workload", "secret-printer",
+                     "--tool", "k-leb", "--period-ms", "0.1",
+                     "--events", "LLC_MISES"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "LLC_MISSES" in err
+        # The full catalogue follows the error so the user can pick.
+        assert "INST_RETIRED" in err
+
+    def test_monitor_multiplex_rotates_extra_events(self, capsys):
+        code = main(["monitor", "--workload", "matmul", "--tool", "k-leb",
+                     "--period-ms", "0.1", "--multiplex", "1", "--seed", "1",
+                     "--events",
+                     "LOADS,STORES,BRANCHES,BRANCH_MISSES,"
+                     "LLC_REFERENCES,LLC_MISSES"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LLC_MISSES" in out
+
+    def test_monitor_multiplex_requires_kleb(self):
+        with pytest.raises(SystemExit):
+            main(["monitor", "--workload", "matmul", "--tool", "perf-stat",
+                  "--multiplex", "1"])
+
+    def test_monitor_too_many_events_without_multiplex_errors(self):
+        with pytest.raises(SystemExit, match="multiplex"):
+            main(["monitor", "--workload", "secret-printer",
+                  "--tool", "k-leb", "--period-ms", "0.1",
+                  "--events",
+                  "LOADS,STORES,BRANCHES,BRANCH_MISSES,LLC_MISSES"])
+
 
 class TestRun:
     def test_run_fig9(self, capsys):
@@ -51,3 +101,9 @@ class TestRun:
     def test_run_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["run", "table99"])
+
+    def test_run_multiplex(self, capsys):
+        assert main(["run", "multiplex", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "rotation" in out
+        assert "time_enabled/time_running" in out

@@ -165,6 +165,38 @@ def compute_fault_digests() -> Dict[str, str]:
     }
 
 
+_MUX_EVENTS = ("LOADS", "STORES", "BRANCHES", "BRANCH_MISSES",
+               "LLC_REFERENCES", "LLC_MISSES", "ARITH_MUL", "FP_OPS")
+
+
+def compute_multiplex_digests(jobs: int = 1) -> Dict[str, str]:
+    """Multiplexed populations: two rotating groups of four events.
+
+    The scaled-estimate accounting (group rotation, CORE_CYCLES
+    time-base, overflow consumption) must be deterministic across
+    seeds, worker counts, and fault injection.
+    """
+    tool = create_tool("k-leb")
+    tool.multiplex_period_ns = ms(1)
+    summaries = run_trials(
+        TripleLoopMatmul(128), tool, runs=3,
+        events=_MUX_EVENTS, period_ns=us(100), base_seed=13, jobs=jobs,
+    )
+    faulted = run_trials(
+        TripleLoopMatmul(128), tool, runs=3,
+        events=_MUX_EVENTS, period_ns=us(100), base_seed=13, jobs=jobs,
+        faults=FaultPlan.parse("seed=9,pmu_wrap=100000"),
+    )
+    return {
+        "multiplex/summaries": _sha256(
+            [report_document(summary.report) for summary in summaries]
+        ),
+        "multiplex/faulted": _sha256(
+            [report_document(summary.report) for summary in faulted]
+        ),
+    }
+
+
 def compute_obs_digests() -> Dict[str, str]:
     """Trace/metrics exports of a pinned-seed obs-enabled population.
 
@@ -194,6 +226,7 @@ def compute_all_digests() -> Dict[str, str]:
     digests.update(compute_fig7_digests())
     digests.update(compute_fig9_digests())
     digests.update(compute_fault_digests())
+    digests.update(compute_multiplex_digests())
     digests.update(compute_obs_digests())
     return digests
 
@@ -234,6 +267,21 @@ def test_fault_digests_match_golden(golden):
     computed = compute_fault_digests()
     expected = {key: value for key, value in golden.items()
                 if key.startswith("faults/")}
+    assert computed == expected
+
+
+def test_multiplex_digests_match_golden(golden):
+    computed = compute_multiplex_digests()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("multiplex/")}
+    assert computed == expected
+
+
+def test_multiplex_digests_identical_across_worker_counts(golden):
+    """jobs=4 must hash to the jobs=1 golden values bit for bit."""
+    computed = compute_multiplex_digests(jobs=4)
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("multiplex/")}
     assert computed == expected
 
 
