@@ -35,12 +35,17 @@ DEFAULT_OUTPUT = Path(__file__).parent.parent.parent / "BENCH_hotpath.json"
 CHECKED = ("pmu_accumulate", "event_queue", "hrtimer_rearm",
            "trace_replay", "end_to_end_table2_fig7")
 
-# Hard cap on the observability on/off ratio: full tracing+metrics may
-# slow the monitored end-to-end path by at most 15 %.  Unlike the
-# calibrated comparisons this is an absolute bound — both halves are
-# measured in the same process, so the ratio needs no committed
-# reference to be meaningful.
+# Hard caps on the same-process on/off ratios: full tracing+metrics
+# may slow the monitored end-to-end path by at most 15 %, and an armed
+# but never-actuating adaptive controller is held to the same bound.
+# Unlike the calibrated comparisons these are absolute bounds — both
+# halves are measured in the same process, so the ratio needs no
+# committed reference to be meaningful.
 OBS_OVERHEAD_CAP = 1.15
+OVERHEAD_CAPS = {
+    "obs_overhead": OBS_OVERHEAD_CAP,
+    "adaptive_overhead": 1.15,
+}
 
 
 def _load_baseline(quick: bool) -> Dict:
@@ -83,13 +88,15 @@ def _check(current: Dict[str, Dict[str, float]], committed_path: Path,
               f"({regression:+7.1%}) {status}")
         if regression > tolerance:
             failures.append(name)
-    overhead = current.get("obs_overhead", {}).get("overhead_ratio")
-    if overhead is not None:
-        status = "REGRESSION" if overhead > OBS_OVERHEAD_CAP else "ok"
-        print(f"  {'obs_overhead':28s} on/off ratio "
-              f"{overhead:10.3f} (cap {OBS_OVERHEAD_CAP:.2f}) {status}")
-        if overhead > OBS_OVERHEAD_CAP:
-            failures.append("obs_overhead")
+    for name, cap in OVERHEAD_CAPS.items():
+        overhead = current.get(name, {}).get("overhead_ratio")
+        if overhead is None:
+            continue
+        status = "REGRESSION" if overhead > cap else "ok"
+        print(f"  {name:28s} on/off ratio "
+              f"{overhead:10.3f} (cap {cap:.2f}) {status}")
+        if overhead > cap:
+            failures.append(name)
     if failures:
         print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
               f"{tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
@@ -130,6 +137,8 @@ def main(argv=None) -> int:
               f"calibrated {metrics['calibrated']:10.2f}")
     overhead = results["obs_overhead"]["overhead_ratio"]
     print(f"  observability on/off overhead ratio: {overhead:.3f}")
+    adaptive = results["adaptive_overhead"]["overhead_ratio"]
+    print(f"  adaptive-armed on/off overhead ratio: {adaptive:.3f}")
 
     baseline = _load_baseline(args.quick)
     document = {

@@ -60,6 +60,7 @@ _QUICK_KWARGS = {
     "fig9": {},
     "crosscheck": {},
     "multiplex": {"n": 128, "rotation_periods_ns": (ms(1), ms(0.5), ms(0.2))},
+    "adaptive": {"phase_instructions": (60e6, 45e6, 70e6, 50e6)},
 }
 
 
@@ -153,6 +154,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="MS",
                          help="rotate event groups every MS milliseconds "
                               "(k-leb only); totals become scaled estimates")
+    monitor.add_argument("--adapt", action="store_true",
+                         help="close the loop: adapt the sampling period "
+                              "and drain batches online (k-leb only)")
+    monitor.add_argument("--overhead-budget", type=float, default=None,
+                         metavar="PCT",
+                         help="overhead budget for --adapt as a percentage "
+                              "of victim cycles, in (0, 100] (default 2)")
     monitor.add_argument("--save-json", default=None, metavar="PATH",
                          help="write the full report as JSON")
     monitor.add_argument("--save-csv", default=None, metavar="PATH",
@@ -185,7 +193,8 @@ def _run_experiment(experiment_id: str, seed: int,
     if runs is not None:
         key = {"table1": "trials", "fig4": "trials",
                "fig6": "rounds"}.get(experiment_id, "runs")
-        if experiment_id in ("fig7", "fig9", "crosscheck", "multiplex"):
+        if experiment_id in ("fig7", "fig9", "crosscheck", "multiplex",
+                             "adaptive"):
             pass  # single-run experiments
         else:
             kwargs[key] = runs
@@ -273,14 +282,38 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print(f"error: {error}\n", file=sys.stderr)
         print(_catalogue_table(), file=sys.stderr)
         return 2
-    if args.multiplex is not None:
-        if args.tool != "k-leb":
-            raise SystemExit(
-                f"--multiplex is only supported by the k-leb tool, "
-                f"not {args.tool!r}")
+    if args.multiplex is not None and args.multiplex <= 0:
+        print(f"error: --multiplex must be a positive rotation period in "
+              f"milliseconds, got {args.multiplex:g}", file=sys.stderr)
+        return 2
+    if args.overhead_budget is not None:
+        if not args.adapt:
+            print("error: --overhead-budget requires --adapt",
+                  file=sys.stderr)
+            return 2
+        if not 0.0 < args.overhead_budget <= 100.0:
+            print(f"error: --overhead-budget must be in (0, 100] percent, "
+                  f"got {args.overhead_budget:g}", file=sys.stderr)
+            return 2
+    if (args.multiplex is not None or args.adapt) and args.tool != "k-leb":
+        flag = "--multiplex" if args.multiplex is not None else "--adapt"
+        print(f"error: {flag} is only supported by the k-leb tool, "
+              f"not {args.tool!r}", file=sys.stderr)
+        return 2
+    if args.multiplex is not None or args.adapt:
+        from repro.control import ControlConfig
         from repro.tools.kleb.tool import KLebTool
 
-        tool = KLebTool(multiplex_period_ns=ms(args.multiplex))
+        control = None
+        if args.adapt:
+            control = (ControlConfig() if args.overhead_budget is None
+                       else ControlConfig(
+                           overhead_budget_percent=args.overhead_budget))
+        tool = KLebTool(
+            multiplex_period_ns=(ms(args.multiplex)
+                                 if args.multiplex is not None else None),
+            control=control,
+        )
     else:
         tool = create_tool(args.tool)
     injector: Optional[FaultInjector] = None
@@ -309,6 +342,20 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     for name in events:
         if len(series) and name in series.values:
             print(f"{name:16s} {sparkline(series.event(name))}")
+    if report.control is not None:
+        meta = report.metadata
+        print(f"\nadaptive control: "
+              f"{meta.get('adaptive_observations', 0):g} observations, "
+              f"period {meta.get('adaptive_min_period_ns', 0) / 1e6:g}.."
+              f"{meta.get('adaptive_max_period_ns', 0) / 1e6:g} ms, "
+              f"overhead {meta.get('adaptive_overhead_percent', 0):.2f}% "
+              f"(budget {meta.get('adaptive_budget_percent', 0):g}%), "
+              f"final level {meta.get('adaptive_final_level', 0):g}")
+        from repro.control import ControlLedger
+
+        ledger_view = ControlLedger.from_rows(report.control)
+        if len(ledger_view):
+            print(ledger_view.render())
     if injector is not None:
         print(f"\ninjected faults: {len(injector.ledger.records)}")
         for record in injector.ledger.records[:20]:

@@ -1,0 +1,25 @@
+"""Closed-loop adaptive sampling control (see :mod:`repro.control.controller`)."""
+
+from repro.control.controller import (
+    AdaptiveController,
+    ControlConfig,
+    ControlDecision,
+    SensorReading,
+)
+from repro.control.ledger import (
+    ACTIONS,
+    LADDER_LEVELS,
+    ControlLedger,
+    ControlRecord,
+)
+
+__all__ = [
+    "ACTIONS",
+    "AdaptiveController",
+    "ControlConfig",
+    "ControlDecision",
+    "ControlLedger",
+    "ControlRecord",
+    "LADDER_LEVELS",
+    "SensorReading",
+]

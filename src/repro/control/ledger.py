@@ -1,0 +1,145 @@
+"""The control ledger: every ladder transition, recorded.
+
+Mirrors :class:`repro.faults.ledger.FaultLedger`: plain-data records of
+ints and strings that pickle across worker-pool boundaries and compare
+bit-for-bit between serial and parallel runs.  Where the fault ledger
+answers "what was injected", the control ledger answers "what did the
+closed loop *do* about it" — each degradation step, each recovery, each
+phase-triggered boost, in order, with the simulated time and the period
+in force afterwards.
+
+The conservation contract (gated in CI): recoveries undo degradations
+one-for-one, in LIFO order, and the running depth (degradations minus
+recoveries) never goes negative — every degradation has a matching
+recovery or is still open at exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Ladder rungs, in degradation order (paper Tables II/III machinery:
+#: every rung trades sampling fidelity for monitoring cost).
+LADDER_LEVELS = (
+    "nominal",             # L0: configured period, full drains
+    "period-lengthened",   # L1: HRTimer period doubled (up to max)
+    "batch-shrunk",        # L2: drain reads capped to small batches
+    "rotation-slowed",     # L3: multiplex group rotation slowed
+    "sample-dropping",     # L4: every Nth fire recorded, gaps accounted
+)
+
+#: Actions a record may carry.  ``degrade``/``recover`` move on the
+#: ladder and are conservation-checked; ``boost``/``boost-release``
+#: track the phase-change fast path below the nominal period.
+ACTIONS = ("degrade", "recover", "boost", "boost-release")
+
+
+@dataclass(frozen=True)
+class ControlRecord:
+    """One closed-loop transition."""
+
+    time_ns: int
+    action: str        # one of ACTIONS
+    level_from: int    # ladder level before the step
+    level_to: int      # ladder level after the step
+    period_ns: int     # sampling period in force after the step
+    detail: str = ""
+
+
+class ControlLedger:
+    """Append-only transition history for one adaptive session."""
+
+    def __init__(self) -> None:
+        self.records: List[ControlRecord] = []
+
+    def record(self, time_ns: int, action: str, level_from: int,
+               level_to: int, period_ns: int, detail: str = "") -> None:
+        if action not in ACTIONS:
+            raise ValueError(f"unknown control action {action!r}")
+        self.records.append(ControlRecord(
+            time_ns=int(time_ns), action=action,
+            level_from=int(level_from), level_to=int(level_to),
+            period_ns=int(period_ns), detail=detail,
+        ))
+
+    def count(self, action: Optional[str] = None) -> int:
+        if action is None:
+            return len(self.records)
+        return sum(1 for record in self.records if record.action == action)
+
+    @property
+    def open_depth(self) -> int:
+        """Degradations still outstanding (not yet recovered)."""
+        return self.count("degrade") - self.count("recover")
+
+    def conservation_ok(self, final_depth: Optional[int] = None) -> bool:
+        """True when the transition history balances.
+
+        The running degrade/recover depth must never go negative (a
+        recovery cannot undo a degradation that never happened), and —
+        when ``final_depth`` is given — must end exactly at the
+        controller's open depth at exit.
+        """
+        depth = 0
+        for record in self.records:
+            if record.action == "degrade":
+                depth += 1
+            elif record.action == "recover":
+                depth -= 1
+                if depth < 0:
+                    return False
+        if final_depth is not None and depth != final_depth:
+            return False
+        return True
+
+    @classmethod
+    def from_rows(cls, rows: List[Dict[str, object]]) -> "ControlLedger":
+        """Rebuild a ledger from :meth:`to_rows` output (report I/O)."""
+        ledger = cls()
+        for row in rows:
+            ledger.record(
+                int(row["time_ns"]), str(row["action"]),
+                int(row["level_from"]), int(row["level_to"]),
+                int(row["period_ns"]), str(row.get("detail", "")),
+            )
+        return ledger
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Plain-data rows for :class:`~repro.tools.base.ToolReport`."""
+        return [
+            {
+                "time_ns": record.time_ns,
+                "action": record.action,
+                "level_from": record.level_from,
+                "level_to": record.level_to,
+                "period_ns": record.period_ns,
+                "detail": record.detail,
+            }
+            for record in self.records
+        ]
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable summary for the CLI."""
+        lines = ["Control ledger"]
+        lines.append(
+            f"  transitions: {len(self.records)}  "
+            f"degrade: {self.count('degrade')}  "
+            f"recover: {self.count('recover')}  "
+            f"boost: {self.count('boost')}  "
+            f"open at exit: {self.open_depth}"
+        )
+        for record in self.records[:limit]:
+            lines.append(
+                f"  {record.time_ns:>14,d} ns  {record.action:13s} "
+                f"{LADDER_LEVELS[record.level_from]} -> "
+                f"{LADDER_LEVELS[record.level_to]}  "
+                f"period {record.period_ns / 1e3:g} us"
+                + (f"  ({record.detail})" if record.detail else "")
+            )
+        if len(self.records) > limit:
+            lines.append(f"  ... and {len(self.records) - limit} more")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -96,5 +96,9 @@ class FaultError(ReproError):
     """Invalid fault-injection plan or ``--faults`` spec."""
 
 
+class ControlError(ReproError):
+    """Invalid adaptive-control configuration or controller misuse."""
+
+
 class TrialCrashError(ExperimentError):
     """A simulated worker crash injected into a runner trial."""

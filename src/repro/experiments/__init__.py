@@ -10,6 +10,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict
 
 from repro.experiments import (
+    adaptive,
     crosscheck,
     fig4,
     fig5,
@@ -88,6 +89,10 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         ExperimentEntry(
             "multiplex", "Multiplexed scaled-count error vs rotation period",
             multiplex.run, multiplex.render,
+        ),
+        ExperimentEntry(
+            "adaptive", "Adaptive vs fixed sampling accuracy/overhead frontier",
+            adaptive.run, adaptive.render,
         ),
     ]
 }

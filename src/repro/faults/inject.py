@@ -43,6 +43,8 @@ class FaultInjector:
         # Active capacity-squeeze episode, if any.
         self._squeeze_fires_left = 0
         self._squeeze_capacity: Optional[int] = None
+        # Active control decision-freeze episode, if any.
+        self._freeze_cycles_left = 0
 
     def _stream(self, name: str) -> np.random.Generator:
         return self._rng.stream(f"fault:{name}")
@@ -141,6 +143,50 @@ class FaultInjector:
         self.ledger.record(now, "controller", "starved-cycle",
                            f"x{self.plan.starve_factor:g}")
         return self.plan.starve_factor
+
+    # ------------------------------------------------------------------
+    # Adaptive-control hooks (control/controller.py via the K-LEB
+    # controller's observation path)
+    # ------------------------------------------------------------------
+    def control_sensor_glitch(self, now: int) -> bool:
+        """True when this drain cycle's sensor reading is corrupted.
+
+        The controller discards the reading instead of folding garbage
+        into its EWMAs — a lost observation, not a wrong decision.
+        """
+        probability = self.plan.control_sensor_prob
+        if probability <= 0:
+            return False
+        if float(self._stream("control-sensor").uniform()) >= probability:
+            return False
+        self.ledger.record(now, "control", "sensor-glitch")
+        return True
+
+    def control_frozen(self, now: int) -> bool:
+        """True while a decision-freeze episode is active.
+
+        Episodes start with probability ``control_freeze_prob`` per
+        drain cycle and last ``control_freeze_cycles`` cycles; while
+        frozen the loop cannot observe or act (modelling a controller
+        process descheduled across its decision window).
+        """
+        if self.plan.control_freeze_prob <= 0:
+            return False
+        if self._freeze_cycles_left > 0:
+            self._freeze_cycles_left -= 1
+            if self._freeze_cycles_left == 0:
+                self.ledger.record(now, "control", "freeze-released")
+                return False
+            return True
+        if (float(self._stream("control-freeze").uniform())
+                < self.plan.control_freeze_prob):
+            self._freeze_cycles_left = self.plan.control_freeze_cycles
+            self.ledger.record(
+                now, "control", "decision-freeze",
+                f"{self.plan.control_freeze_cycles} cycles",
+            )
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # PMU hooks (hw/pmu.py via the module's config path)

@@ -26,7 +26,7 @@ class FaultRecord:
     """
 
     time_ns: int
-    site: str        # "hrtimer" | "ioctl" | "read" | "ringbuffer" | "pmu" | "runner"
+    site: str        # "hrtimer" | "ioctl" | "read" | "ringbuffer" | "pmu" | "control" | "runner"
     kind: str        # e.g. "missed-deadline", "transient-failure", "backoff"
     detail: str = ""
 

@@ -59,6 +59,9 @@ _SPEC_KEYS = {
     "starve": ("starve_prob", float),
     "starve_factor": ("starve_factor", float),
     "pmu_wrap": ("pmu_wrap_margin", int),
+    "control_sensor": ("control_sensor_prob", float),
+    "control_freeze": ("control_freeze_prob", float),
+    "control_freeze_cycles": ("control_freeze_cycles", int),
     "crash": ("trial_crash_prob", float),
     "timeout": ("trial_timeout_prob", float),
     "persistent": ("trial_persistent_prob", float),
@@ -93,6 +96,13 @@ class FaultPlan:
     # to 2^48 - margin so they wrap early in the run.
     pmu_wrap_margin: Optional[int] = None
 
+    # Adaptive-control faults (control/controller.py sensor path):
+    # glitched sensor readings the controller must discard, and frozen
+    # decision windows where the loop cannot act.
+    control_sensor_prob: float = 0.0       # per drain cycle: reading lost
+    control_freeze_prob: float = 0.0       # per drain cycle: episode starts
+    control_freeze_cycles: int = 8         # frozen episode length in cycles
+
     # Trial-level faults (experiments/runner.py, experiments/parallel.py)
     trial_crash_prob: float = 0.0          # transient worker crash
     trial_timeout_prob: float = 0.0        # one attempt blows its deadline
@@ -112,6 +122,8 @@ class FaultPlan:
             or self.squeeze_prob > 0
             or self.starve_prob > 0
             or self.pmu_wrap_margin is not None
+            or self.control_sensor_prob > 0
+            or self.control_freeze_prob > 0
         )
 
     @property
@@ -153,6 +165,11 @@ class FaultPlan:
             raise FaultError(
                 f"pmu_wrap_margin must be positive, got {self.pmu_wrap_margin}"
             )
+        if self.control_freeze_cycles <= 0:
+            raise FaultError(
+                f"control_freeze_cycles must be positive, "
+                f"got {self.control_freeze_cycles}"
+            )
         total = (self.trial_crash_prob + self.trial_timeout_prob
                  + self.trial_persistent_prob)
         if total > 1.0:
@@ -170,8 +187,10 @@ class FaultPlan:
         Keys: ``seed``, ``timer_jitter``, ``timer_jitter_ns``,
         ``timer_miss``, ``ioctl``, ``read``, ``squeeze``,
         ``squeeze_factor``, ``squeeze_fires``, ``starve``,
-        ``starve_factor``, ``pmu_wrap``, ``crash``, ``timeout``,
-        ``persistent``.  Example: ``seed=7,ioctl=0.05,starve=0.2``.
+        ``starve_factor``, ``pmu_wrap``, ``control_sensor``,
+        ``control_freeze``, ``control_freeze_cycles``, ``crash``,
+        ``timeout``, ``persistent``.  Example:
+        ``seed=7,ioctl=0.05,starve=0.2``.
         """
         values = {}
         for part in spec.split(","):

@@ -50,6 +50,11 @@ def save_report_json(report: ToolReport, path: PathLike,
             for sample in report.samples
         ],
     }
+    if report.control is not None:
+        # Only adaptive runs carry a control ledger; omitting the key
+        # otherwise keeps non-adaptive documents byte-identical to the
+        # pre-control format.
+        document["control"] = [dict(row) for row in report.control]
     if compact:
         text = json.dumps(document, separators=(",", ":"))
     else:
@@ -87,6 +92,7 @@ def load_report_json(path: PathLike) -> ToolReport:
             victim_pid=int(document["victim_pid"]),
             metadata={name: float(value)
                       for name, value in document.get("metadata", {}).items()},
+            control=document.get("control"),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ReportIOError(f"malformed report document: {error}") from error

@@ -67,6 +67,33 @@ class HrTimer:
             self._pending.cancel()
             self._pending = None
 
+    def reprogram(self, period_ns: int) -> None:
+        """Change the period of a (possibly running) timer in place.
+
+        Real hrtimers support this via cancel + restart with a new
+        interval; the adaptive controller uses it to retune the
+        sampling rate without tearing down the counting session.  The
+        ideal grid restarts from *now* — the next fire lands one new
+        period out, and subsequent fires stay on the new grid.
+        """
+        if period_ns < self._kernel.config.hrtimer_min_period_ns:
+            raise TimerError(
+                f"hrtimer period {period_ns}ns below hardware floor "
+                f"{self._kernel.config.hrtimer_min_period_ns}ns"
+            )
+        was_active = self._pending is not None
+        if was_active:
+            self._pending.cancel()
+            self._pending = None
+        self._period_ns = int(period_ns)
+        if was_active:
+            self._next_ideal = self._kernel.now + self._period_ns
+            self._schedule()
+        obs = self._obs
+        if obs is not None:
+            obs.timer_reprogrammed(self._label, self._kernel.now,
+                                   self._period_ns)
+
     def _jitter(self) -> int:
         config = self._kernel.config
         draw = self._rng.normal(config.hrtimer_jitter_mean_ns,

@@ -46,6 +46,7 @@ class RingBuffer(Generic[T]):
         self.total_drained = 0
         self.total_cleared = 0
         self.pause_episodes = 0
+        self.high_watermark = 0
         self._obs = _obs_hooks.active()
 
     def __len__(self) -> int:
@@ -110,6 +111,8 @@ class RingBuffer(Generic[T]):
             return False
         self._entries.append(item)
         self.total_pushed += 1
+        if len(self._entries) > self.high_watermark:
+            self.high_watermark = len(self._entries)
         if obs is not None:
             obs.buffer_pushed(len(self._entries))
         if self.full:
@@ -139,6 +142,17 @@ class RingBuffer(Generic[T]):
             if self._obs is not None:
                 self._obs.buffer_resumed()
         return drained
+
+    def take_high_watermark(self) -> int:
+        """Peak occupancy since the last call; resets to current fill.
+
+        The adaptive controller reads this once per drain cycle as its
+        buffer-pressure signal — peak-between-reads, not instantaneous
+        fill, since the drain itself empties the buffer.
+        """
+        peak = self.high_watermark
+        self.high_watermark = len(self._entries)
+        return peak
 
     def clear(self) -> None:
         """Drop everything and resume collection."""

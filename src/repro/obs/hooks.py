@@ -75,6 +75,16 @@ class NullRecorder:
     def drain_restored(self, now: int, interval_ns: int) -> None: pass
     def controller_retry(self, now: int, op: str) -> None: pass
 
+    # -- adaptive control ----------------------------------------------
+    def timer_reprogrammed(self, label: str, when: int,
+                           period_ns: int) -> None: pass
+    def control_observation(self, now: int,
+                            overhead_percent: Optional[float],
+                            level: int) -> None: pass
+    def control_step(self, now: int, action: str, level: int,
+                     period_ns: int) -> None: pass
+    def control_frozen(self, now: int) -> None: pass
+
     # -- faults ---------------------------------------------------------
     def fault_landed(self, time_ns: int, site: str, kind: str) -> None: pass
     def fault_recovered(self, time_ns: int, site: str) -> None: pass
@@ -190,6 +200,11 @@ class Recorder(NullRecorder):
         self._trial_wall = reg.histogram(
             "trial_sim_wall_ns", "victim wall time per trial",
             buckets=tuple(b * 1000 for b in LATENCY_BUCKETS_NS)).default
+        # Adaptive-control metrics are registered lazily on first use
+        # (see _control_metrics) so the pre-registered export set — and
+        # with it the pinned obs digests — is unchanged for runs that
+        # never enable the controller.
+        self._control: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # engine
@@ -292,6 +307,78 @@ class Recorder(NullRecorder):
 
     def controller_retry(self, now: int, op: str) -> None:
         self._retries.labels(op).inc()
+
+    # ------------------------------------------------------------------
+    # adaptive control
+    # ------------------------------------------------------------------
+    def _control_metrics(self) -> Dict[str, object]:
+        """Register the controller's metric families on first use.
+
+        Lazy so adaptive-off runs export exactly the pre-registered
+        set.  Registration is idempotent per name and
+        ``MetricsRegistry.merge`` adopts unknown families wholesale,
+        so parent recorders that never saw the controller still merge
+        worker chunks that did.
+        """
+        control = self._control
+        if control is None:
+            reg = self.registry
+            control = {
+                "observations": reg.counter(
+                    "control_observations_total",
+                    "closed-loop sensor observations folded in").default,
+                "steps": reg.counter(
+                    "control_steps_total",
+                    "closed-loop transitions by action",
+                    label_names=("action",)),
+                "level": reg.gauge(
+                    "control_ladder_level_high_water",
+                    "deepest degradation-ladder level reached").default,
+                "overhead": reg.histogram(
+                    "control_overhead_percent",
+                    "smoothed monitoring overhead (percent of victim "
+                    "cycles) per observation",
+                    buckets=(0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 100.0)).default,
+                "reprograms": reg.counter(
+                    "hrtimer_reprogram_total",
+                    "in-place HRTimer period changes").default,
+                "frozen": reg.counter(
+                    "control_frozen_observations_total",
+                    "drain cycles lost to injected decision freezes").default,
+            }
+            self._control = control
+        return control
+
+    def timer_reprogrammed(self, label: str, when: int,
+                           period_ns: int) -> None:
+        self._control_metrics()["reprograms"].inc()
+        if self.tracer is not None:
+            self.tracer.instant("timer-reprogram", "hrtimer", when,
+                                {"timer": label, "period_ns": period_ns},
+                                category="hrtimer")
+
+    def control_observation(self, now: int,
+                            overhead_percent: Optional[float],
+                            level: int) -> None:
+        control = self._control_metrics()
+        control["observations"].inc()
+        control["level"].set_max(level)
+        if overhead_percent is not None:
+            control["overhead"].observe(overhead_percent)
+
+    def control_step(self, now: int, action: str, level: int,
+                     period_ns: int) -> None:
+        self._control_metrics()["steps"].labels(action).inc()
+        if self.tracer is not None:
+            self.tracer.instant(f"control:{action}", "controller", now,
+                                {"level": level, "period_ns": period_ns},
+                                category="controller")
+
+    def control_frozen(self, now: int) -> None:
+        self._control_metrics()["frozen"].inc()
+        if self.tracer is not None:
+            self.tracer.instant("control-frozen", "controller", now,
+                                category="controller")
 
     # ------------------------------------------------------------------
     # faults

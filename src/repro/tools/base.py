@@ -55,6 +55,10 @@ class ToolReport:
     victim_wall_ns: int
     victim_pid: int
     metadata: Dict[str, float] = field(default_factory=dict)
+    # Closed-loop control ledger rows (adaptive K-LEB runs only);
+    # ``None`` keeps non-adaptive reports byte-identical to the
+    # pre-control format.
+    control: Optional[List[Dict[str, object]]] = None
 
     @property
     def sample_count(self) -> int:

@@ -64,6 +64,13 @@ KLEB_DRAIN_EVERY_PERIODS = 8
 # Multiplexing rotation from the HRTimer handler: reprogram up to four
 # event-select registers, zero the counters, clear overflow status.
 KLEB_ROTATE_NS = us(2)
+# A skipped fire on the sample-dropping ladder rung: the handler still
+# enters, checks the skip counter, and returns without touching the
+# PMU or the buffer.
+KLEB_SKIP_FIRE_NS = 500
+# Adapt ioctl service: validate the request, retune the HRTimer, and
+# update the module's skip/rotation knobs.
+KLEB_ADAPT_NS = us(1)
 
 # ---------------------------------------------------------------------------
 # perf

@@ -29,12 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.control import AdaptiveController, SensorReading
 from repro.errors import TransientModuleError
 from repro.obs import hooks as _obs_hooks
 from repro.sim.clock import ms
 from repro.tools import costs
 from repro.tools.base import Sample
-from repro.tools.kleb.module import KLebModule, KLebModuleConfig
+from repro.tools.kleb.module import (KLebAdaptRequest, KLebModule,
+                                     KLebModuleConfig)
 from repro.workloads.base import Block, Program, RateBlock, SyscallBlock
 
 _LOG_RATES = {"LOADS": 0.38, "STORES": 0.27, "BRANCHES": 0.12}
@@ -78,6 +80,11 @@ class ControllerState:
     drain_shrinks: int = 0
     drain_restores: int = 0
     starved_cycles: int = 0
+    # Closed-loop adaptive control (None when --adapt is off).
+    control: Optional[AdaptiveController] = None
+    adapt_ioctls: int = 0
+    sensor_glitches: int = 0
+    frozen_observations: int = 0
 
 
 class KLebControllerProgram(Program):
@@ -92,7 +99,8 @@ class KLebControllerProgram(Program):
     def __init__(self, module: KLebModule, target_pid: int,
                  module_config: KLebModuleConfig, state: ControllerState,
                  cost_factor: float = 1.0,
-                 start_target: bool = True) -> None:
+                 start_target: bool = True,
+                 adaptive: Optional[AdaptiveController] = None) -> None:
         self.name = "k-leb-controller"
         self.module = module
         self.target_pid = target_pid
@@ -102,6 +110,13 @@ class KLebControllerProgram(Program):
         self.start_target = start_target
         drain_every = costs.KLEB_DRAIN_EVERY_PERIODS * module_config.period_ns
         self.drain_interval_ns = max(drain_every, ms(10))
+        self._adaptive = adaptive
+        state.control = adaptive
+        # Drain-batch cap while on the batch-shrunk ladder rung.
+        self._drain_max_items: Optional[int] = None
+        # The phase-change signal tracks the first requested event.
+        self._signal_event = (module_config.resolved_events()[0]
+                              if adaptive is not None else None)
         self._obs = _obs_hooks.active()
 
     # ------------------------------------------------------------------
@@ -166,11 +181,13 @@ class KLebControllerProgram(Program):
                     # lifts the safety stop, so the post-drain flag
                     # would hide every pause episode from user space.
                     paused = buffer.paused if buffer is not None else False
-                    batch = module.read()
+                    batch = module.read(self._drain_max_items)
                     outcome["batch"] = batch
                     outcome["paused"] = paused
                     outcome["dropped"] = (buffer.dropped
                                           if buffer is not None else 0)
+                    if self._adaptive is not None:
+                        self._capture_sensor(kernel, buffer, batch, outcome)
                     outcome["ok"] = True
                     return len(batch)
                 except TransientModuleError as error:
@@ -200,6 +217,11 @@ class KLebControllerProgram(Program):
         holder["batch_len"] = len(batch)
         holder["paused"] = outcome.pop("paused", False)
         holder["dropped"] = outcome.pop("dropped", 0)
+        if self._adaptive is not None:
+            holder["now"] = outcome.pop("now", module.kernel.now)
+            holder["monitor_ns"] = outcome.pop("monitor_ns", 0)
+            holder["pressure"] = outcome.pop("pressure", 0.0)
+            holder["signal"] = outcome.pop("signal", None)
         state.samples.extend(batch)
         if batch:
             # CSV formatting in user space, then one buffered write.
@@ -213,6 +235,99 @@ class KLebControllerProgram(Program):
                             rates=dict(_LOG_RATES), cpi=1.0,
                             label="format-log")
             yield SyscallBlock("write", label="write-log")
+
+    # ------------------------------------------------------------------
+    # Adaptive control (closed loop over the drain cycle)
+    # ------------------------------------------------------------------
+    def _capture_sensor(self, kernel, buffer, batch, outcome) -> None:
+        """Everything the closed loop observes, captured inside the
+        read syscall so the observation is one consistent snapshot."""
+        stats = self.module.stats
+        outcome["now"] = kernel.now
+        # The Table II/III monitoring-cost decomposition: handler time
+        # plus drain copy_to_user plus multiplex rotation, cumulative.
+        outcome["monitor_ns"] = (stats.handler_time_ns
+                                 + stats.drain_copy_ns + stats.rotate_ns)
+        if buffer is not None and buffer.capacity > 0:
+            outcome["pressure"] = (buffer.take_high_watermark()
+                                   / buffer.capacity)
+        else:
+            outcome["pressure"] = 0.0
+        signal = None
+        if len(batch) >= 2:
+            span = batch[-1].timestamp - batch[0].timestamp
+            if span > 0:
+                first = batch[0].values.get(self._signal_event, 0)
+                last = batch[-1].values.get(self._signal_event, 0)
+                # Per-microsecond rate: spacing-independent, so the
+                # tracker survives its own period changes.
+                signal = (last - first) / span * 1000.0
+        outcome["signal"] = signal
+
+    def _adaptive_step(self, holder: Dict[str, object],
+                       interval_ns: int) -> Iterator[Block]:
+        """Run one closed-loop decision; returns the new drain interval.
+
+        Control faults land here: a frozen decision window skips the
+        observation entirely, a sensor glitch discards the reading —
+        either way the loop's EWMAs never see garbage.  When a decision
+        changes the module's knobs, the adapt ioctl carries *absolute*
+        targets computed exactly once, so the transient-failure retry
+        path re-applies the same request instead of compounding a
+        relative step (the double-shrink bug this design exists for).
+        """
+        ctrl = self._adaptive
+        assert ctrl is not None
+        module = self.module
+        state = self.state
+        obs = self._obs
+        now = int(holder.get("now", module.kernel.now))
+        faults = module.kernel.faults
+        if faults.control_frozen(now):
+            state.frozen_observations += 1
+            if obs is not None:
+                obs.control_frozen(now)
+            return interval_ns
+        if faults.control_sensor_glitch(now):
+            state.sensor_glitches += 1
+            return interval_ns
+        reading = SensorReading(
+            now_ns=now,
+            monitor_ns=int(holder.get("monitor_ns", 0)),
+            signal=holder.get("signal"),  # type: ignore[arg-type]
+            pressure=float(holder.get("pressure", 0.0)),
+            dropped=int(holder.get("dropped", 0)),
+            paused=bool(holder.get("paused", False)),
+        )
+        decision = ctrl.observe(reading)
+        if obs is not None:
+            obs.control_observation(now, decision.overhead_percent,
+                                    decision.level)
+            if decision.action is not None:
+                obs.control_step(now, decision.action, decision.level,
+                                 decision.period_ns)
+        self._drain_max_items = decision.drain_max_items
+        if decision.changed:
+            request = KLebAdaptRequest(
+                period_ns=decision.period_ns,
+                skip_factor=decision.skip_factor,
+                rotate_slowdown=decision.rotate_slowdown,
+            )
+            yield from self._retrying_ioctl(
+                lambda kernel, task: module.ioctl("adapt", request),
+                label="ioctl-adapt",
+            )
+            state.adapt_ioctls += 1
+        # Retarget the nominal drain interval to track the active
+        # period (same drain-every-N-periods policy as construction).
+        # A pressure-shortened interval is preserved — only capped, so
+        # the shrink/restore machinery keeps working against the new
+        # nominal.
+        was_nominal = interval_ns >= self.drain_interval_ns
+        target = max(ms(10),
+                     costs.KLEB_DRAIN_EVERY_PERIODS * decision.period_ns)
+        self.drain_interval_ns = target
+        return target if was_nominal else min(interval_ns, target)
 
     # ------------------------------------------------------------------
     # The program
@@ -309,6 +424,10 @@ class KLebControllerProgram(Program):
                     if obs is not None:
                         obs.drain_restored(module.kernel.now, interval_ns)
                     healthy_cycles = 0
+
+            if self._adaptive is not None:
+                interval_ns = yield from self._adaptive_step(holder,
+                                                             interval_ns)
 
             if state.stop_requested and not module.collecting \
                     and module.pending_samples == 0:

@@ -115,6 +115,26 @@ class KLebStats:
     pause_episodes: int = 0
     handler_time_ns: int = 0
     rotations: int = 0
+    # Adaptive-control accounting: fires skipped on the sample-dropping
+    # rung (gap accounting), and the drain-copy / rotation kernel time
+    # the overhead sensor folds into its monitoring-cost fraction.
+    samples_skipped: int = 0
+    drain_copy_ns: int = 0
+    rotate_ns: int = 0
+
+
+@dataclass(frozen=True)
+class KLebAdaptRequest:
+    """Argument of the ``adapt`` ioctl: absolute target knob values.
+
+    Absolute, not deltas, on purpose — a transient ioctl failure makes
+    the controller retry the same request, and re-applying absolute
+    targets is idempotent (a relative "shrink by 2" would double-apply).
+    """
+
+    period_ns: int
+    skip_factor: int = 1
+    rotate_slowdown: int = 1
 
 
 @dataclass
@@ -182,6 +202,12 @@ class KLebModule(KernelModule):
         self.final_totals: Optional[Dict[str, int]] = None
         self.mux: Optional[_MuxState] = None
         self._probe_handles: List = []
+        # Adaptive-control knobs (the adapt ioctl retunes these; the
+        # defaults make non-adaptive runs bit-identical to the classic
+        # module).
+        self.active_period_ns = 0
+        self.skip_factor = 1
+        self.rotate_slowdown = 1
 
     # ------------------------------------------------------------------
     # Module lifecycle
@@ -210,6 +236,8 @@ class KLebModule(KernelModule):
             return self._ioctl_start(argument)
         if command == "stop":
             return self._ioctl_stop()
+        if command == "adapt":
+            return self._ioctl_adapt(argument)
         if command == "stats":
             # A copy: handing out the live mutable stats object would
             # let user space race the interrupt handler's updates.
@@ -226,6 +254,11 @@ class KLebModule(KernelModule):
         self.kernel.charge_kernel_time(costs.KLEB_SETUP_NS)
         self.config = argument
         self.buffer = RingBuffer(argument.buffer_capacity)
+        # Reset the adaptive knobs to their pass-through defaults: a
+        # fresh config starts at the nominal period with no skipping.
+        self.active_period_ns = argument.period_ns
+        self.skip_factor = 1
+        self.rotate_slowdown = 1
         pmu = self.kernel.pmu
         pmu.reset_counters()
         if argument.multiplex_period_ns is not None:
@@ -294,6 +327,38 @@ class KLebModule(KernelModule):
         self._stop_collection()
         return dict(self.final_totals or {})
 
+    def _ioctl_adapt(self, argument: object) -> bool:
+        """Retune the sampling knobs mid-collection (adaptive control).
+
+        Applies the request's absolute targets; safe to retry after a
+        transient failure (the fault hook fires before any state is
+        touched, and absolute targets re-apply idempotently).
+        """
+        if not isinstance(argument, KLebAdaptRequest):
+            raise ModuleError("K-LEB adapt ioctl needs a KLebAdaptRequest")
+        if self.config is None:
+            raise ModuleError("K-LEB: adapt before config")
+        if argument.period_ns < self.kernel.config.hrtimer_min_period_ns:
+            raise ModuleError(
+                f"K-LEB: adapt period {argument.period_ns}ns below "
+                f"hardware floor {self.kernel.config.hrtimer_min_period_ns}ns"
+            )
+        if argument.skip_factor < 1 or argument.rotate_slowdown < 1:
+            raise ModuleError(
+                "K-LEB: adapt skip_factor and rotate_slowdown must be >= 1"
+            )
+        self.kernel.charge_kernel_time(costs.KLEB_ADAPT_NS)
+        self.active_period_ns = int(argument.period_ns)
+        self.skip_factor = int(argument.skip_factor)
+        self.rotate_slowdown = int(argument.rotate_slowdown)
+        if self.timer is not None \
+                and self.timer.period_ns != self.active_period_ns:
+            # In place if running; an inactive timer (victim switched
+            # out, or paused on back-pressure) just stores the new
+            # period and picks it up on the next switch-in.
+            self.timer.reprogram(self.active_period_ns)
+        return True
+
     # ------------------------------------------------------------------
     # Device read (controller drains samples)
     # ------------------------------------------------------------------
@@ -314,9 +379,9 @@ class KLebModule(KernelModule):
         batch = self.buffer.drain(max_items)
         if batch:
             # copy_to_user of the sample rows.
-            self.kernel.charge_kernel_time(
-                len(batch) * costs.KLEB_DRAIN_COPY_NS_PER_SAMPLE
-            )
+            copy_ns = len(batch) * costs.KLEB_DRAIN_COPY_NS_PER_SAMPLE
+            self.kernel.charge_kernel_time(copy_ns)
+            self.stats.drain_copy_ns += copy_ns
         return batch
 
     @property
@@ -353,7 +418,9 @@ class KLebModule(KernelModule):
     def _begin_counting(self) -> None:
         assert self.config is not None and self.timer is not None
         self.kernel.pmu.global_enable()
-        self.timer.start(self.config.period_ns)
+        # The adapt ioctl may have retuned the period since config;
+        # equals config.period_ns when the controller never adapted.
+        self.timer.start(self.active_period_ns or self.config.period_ns)
 
     def _pause_counting(self) -> None:
         assert self.timer is not None
@@ -444,6 +511,7 @@ class KLebModule(KernelModule):
         # Reprogramming four event-select registers from interrupt
         # context is the real cost of multiplexing at HRTimer rates.
         self.kernel.charge_kernel_time(costs.KLEB_ROTATE_NS)
+        self.stats.rotate_ns += costs.KLEB_ROTATE_NS
         self._mux_program_active()
 
     def _mux_sample_values(self) -> Dict[str, int]:
@@ -485,6 +553,24 @@ class KLebModule(KernelModule):
             # Lazy one-time work on the first fire: buffer page faults,
             # module-path cache warmup.
             self.kernel.charge_kernel_time(costs.KLEB_FIRST_FIRE_NS)
+        if (self.skip_factor > 1
+                and self.stats.timer_fires % self.skip_factor != 0):
+            # Sample-dropping ladder rung: the handler enters, checks
+            # the skip counter, and bails without touching the PMU or
+            # the buffer.  The gap is accounted (samples_skipped) so
+            # downstream analysis can distinguish dropped-by-policy
+            # from lost-to-pressure.  Rotation fires still tick so a
+            # multiplexed session keeps cycling its groups.
+            self.kernel.charge_kernel_time(costs.KLEB_SKIP_FIRE_NS)
+            self.stats.handler_time_ns += costs.KLEB_SKIP_FIRE_NS
+            self.stats.samples_skipped += 1
+            if self.mux is not None and len(self.mux.plan.groups) > 1:
+                self.mux.fires_in_window += 1
+                if (self.mux.fires_in_window
+                        >= self.mux.rotate_fires * self.rotate_slowdown):
+                    self._mux_harvest()
+                    self._mux_rotate()
+            return
         self.kernel.charge_kernel_time(costs.KLEB_HANDLER_NS)
         self.stats.handler_time_ns += costs.KLEB_HANDLER_NS
         assert self.buffer is not None
@@ -512,5 +598,8 @@ class KLebModule(KernelModule):
         self.stats.pause_episodes = self.buffer.pause_episodes
         if self.mux is not None and len(self.mux.plan.groups) > 1:
             self.mux.fires_in_window += 1
-            if self.mux.fires_in_window >= self.mux.rotate_fires:
+            # The rotation-slowed ladder rung stretches each group's
+            # window by rotate_slowdown (1 when not adapted).
+            if (self.mux.fires_in_window
+                    >= self.mux.rotate_fires * self.rotate_slowdown):
                 self._mux_rotate()

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.control import AdaptiveController, ControlConfig
 from repro.errors import ToolError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Task, TaskState
@@ -44,18 +45,49 @@ class KLebSession(Session):
         totals = dict(self.state.totals or {})
         stats = self.module.stats
         metadata_extra = {}
+        control_rows = None
+        ctrl = self.state.control
+        if ctrl is not None:
+            # Adaptive runs only: non-adaptive reports must stay
+            # byte-identical to the committed golden digests.
+            control_rows = ctrl.ledger.to_rows()
+            metadata_extra.update({
+                "adaptive_budget_percent": float(
+                    ctrl.config.overhead_budget_percent),
+                "adaptive_nominal_period_ns": float(ctrl.nominal_period_ns),
+                "adaptive_final_period_ns": float(ctrl.period_ns),
+                "adaptive_min_period_ns": float(ctrl.min_period_seen),
+                "adaptive_max_period_ns": float(ctrl.max_period_seen),
+                "adaptive_observations": float(ctrl.observations),
+                "adaptive_degradations": float(ctrl.ledger.count("degrade")),
+                "adaptive_recoveries": float(ctrl.ledger.count("recover")),
+                "adaptive_boosts": float(ctrl.ledger.count("boost")),
+                "adaptive_boost_releases": float(
+                    ctrl.ledger.count("boost-release")),
+                "adaptive_open_depth": float(ctrl.depth),
+                "adaptive_final_level": float(ctrl.level),
+                "adaptive_overhead_percent": float(
+                    ctrl.overhead_percent_last
+                    if ctrl.overhead_percent_last is not None else 0.0),
+                "adaptive_samples_skipped": float(stats.samples_skipped),
+                "adaptive_ioctls": float(self.state.adapt_ioctls),
+                "adaptive_sensor_glitches": float(
+                    self.state.sensor_glitches),
+                "adaptive_frozen_observations": float(
+                    self.state.frozen_observations),
+            })
         mux = self.state.mux_accounting
         if mux is not None:
             # Multiplexed runs only: non-multiplexed reports must stay
             # byte-identical to the pre-multiplexing golden digests.
             running = mux["time_running_cycles"]
-            metadata_extra = {
+            metadata_extra.update({
                 "multiplex_groups": float(mux["groups"]),
                 "multiplex_rotations": float(mux["rotations"]),
                 "multiplex_enabled_cycles": float(mux["time_enabled_cycles"]),
                 "multiplex_min_running_cycles": float(min(running) if running
                                                       else 0),
-            }
+            })
         return ToolReport(
             tool="k-leb",
             events=self.events,
@@ -86,6 +118,7 @@ class KLebSession(Session):
                 ),
                 **metadata_extra,
             },
+            control=control_rows,
         )
 
 
@@ -101,7 +134,8 @@ class KLebTool(MonitoringTool):
                  count_kernel: bool = False,
                  drop_module_after: bool = False,
                  controller_nice: int = 0,
-                 multiplex_period_ns: Optional[int] = None) -> None:
+                 multiplex_period_ns: Optional[int] = None,
+                 control: Optional[ControlConfig] = None) -> None:
         self.buffer_capacity = buffer_capacity
         self.count_kernel = count_kernel
         self.drop_module_after = drop_module_after
@@ -111,6 +145,11 @@ class KLebTool(MonitoringTool):
         # perf-style group rotation: lets the event list exceed the
         # programmable counters at the cost of scaled (estimated) totals.
         self.multiplex_period_ns = multiplex_period_ns
+        # When set, the controller closes the loop: adaptive period /
+        # batch / rotation / skip control under this config's budget.
+        self.control = control
+        if control is not None:
+            control.validate()
 
     def attach(self, kernel: Kernel, task: Task, events: Sequence[str],
                period_ns: int) -> KLebSession:
@@ -133,6 +172,19 @@ class KLebTool(MonitoringTool):
         cost_factor = float(
             cost_rng.lognormal(0.0, costs.COST_SIGMA["k-leb"])
         )
+        adaptive = None
+        if self.control is not None:
+            adaptive = AdaptiveController(
+                self.control,
+                nominal_period_ns=period_ns,
+                multiplexed=self.multiplex_period_ns is not None,
+                # The boost fast path may not outrun what the tool (or
+                # the simulated hardware) can physically deliver.
+                min_period_floor_ns=max(
+                    self.min_period_ns,
+                    kernel.config.hrtimer_min_period_ns,
+                ),
+            )
         controller_program = KLebControllerProgram(
             module=module,
             target_pid=task.pid,
@@ -140,6 +192,7 @@ class KLebTool(MonitoringTool):
             state=state,
             cost_factor=cost_factor,
             start_target=task.state is TaskState.SLEEPING,
+            adaptive=adaptive,
         )
         controller = kernel.spawn(controller_program,
                                   nice=self.controller_nice)

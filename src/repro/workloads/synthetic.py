@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,80 @@ class UniformComputeWorkload(Program):
     @property
     def metadata(self) -> Dict[str, float]:
         return {"instructions": self.instructions}
+
+
+#: Memory-heavy phase profile: load/LLC rates well above the compute
+#: profile, multiplies well below — the contrast the phase detector
+#: (and the adaptive controller's signal tracker) keys on.
+MEMORY_PHASE_RATES: Dict[str, float] = {
+    "LOADS": 0.55,
+    "STORES": 0.20,
+    "BRANCHES": 0.08,
+    "BRANCH_MISSES": 0.004,
+    "ARITH_MUL": 0.005,
+    "FP_OPS": 0.01,
+    "LLC_REFERENCES": 0.02,
+    "LLC_MISSES": 0.008,
+}
+
+
+class PhaseShiftWorkload(Program):
+    """Alternating compute-heavy / memory-heavy phases.
+
+    The canonical victim for phase-detection experiments: event rates
+    switch abruptly at each phase boundary, so a monitor sampling fast
+    enough sees clean steps while a slow one blurs or misses the short
+    phases entirely (the paper's 100 µs-vs-10 ms argument, Fig. 4).
+
+    ``phases`` is a list of ``(instructions, rates)`` pairs executed in
+    order; :meth:`alternating` builds the standard compute/memory
+    square wave.
+    """
+
+    def __init__(self, phases: Sequence[Tuple[float, Dict[str, float]]],
+                 cpi: float = 1.0, name: str = "phase-shift",
+                 chunk_instructions: float = 2e6) -> None:
+        if not phases:
+            raise WorkloadError("phase list must not be empty")
+        for instructions, _ in phases:
+            if instructions <= 0:
+                raise WorkloadError("phase instruction counts must be positive")
+        self.name = name
+        self.phases: List[Tuple[float, Dict[str, float]]] = [
+            (float(instructions), dict(rates)) for instructions, rates in phases
+        ]
+        self.cpi = cpi
+        self.chunk_instructions = chunk_instructions
+
+    @classmethod
+    def alternating(cls, phase_instructions: Sequence[float],
+                    cpi: float = 1.0,
+                    name: str = "phase-shift") -> "PhaseShiftWorkload":
+        """Square wave: even phases compute-heavy, odd phases memory-heavy."""
+        phases = [
+            (instructions,
+             DEFAULT_COMPUTE_RATES if index % 2 == 0 else MEMORY_PHASE_RATES)
+            for index, instructions in enumerate(phase_instructions)
+        ]
+        return cls(phases, cpi=cpi, name=name)
+
+    def blocks(self) -> Iterator[Block]:
+        for index, (instructions, rates) in enumerate(self.phases):
+            remaining = instructions
+            while remaining > 0:
+                take = min(remaining, self.chunk_instructions)
+                yield RateBlock(instructions=take, rates=dict(rates),
+                                cpi=self.cpi, label=f"phase-{index}")
+                remaining -= take
+
+    @property
+    def metadata(self) -> Dict[str, float]:
+        return {
+            "instructions": sum(
+                instructions for instructions, _ in self.phases),
+            "phases": float(len(self.phases)),
+            "transitions": float(len(self.phases) - 1),
+        }
 
 
 class StridedMemoryWorkload(Program):

@@ -1,0 +1,130 @@
+"""End-to-end adaptive K-LEB sessions: reports, I/O, fault regression."""
+
+from repro.control import ControlConfig, ControlLedger
+from repro.experiments.runner import run_monitored
+from repro.faults import FaultInjector, FaultPlan
+from repro.io import load_report_json, save_report_json
+from repro.sim.clock import ms, us
+from repro.tools.kleb.tool import KLebTool
+from repro.tools.registry import create_tool
+from repro.workloads.synthetic import PhaseShiftWorkload
+
+_EVENTS = ("LOADS", "STORES", "ARITH_MUL", "LLC_MISSES")
+_PHASES = (25e6, 20e6, 30e6, 22e6)
+
+_ADAPTIVE_KEYS = (
+    "adaptive_budget_percent", "adaptive_nominal_period_ns",
+    "adaptive_final_period_ns", "adaptive_min_period_ns",
+    "adaptive_max_period_ns", "adaptive_observations",
+    "adaptive_degradations", "adaptive_recoveries", "adaptive_boosts",
+    "adaptive_boost_releases", "adaptive_open_depth",
+    "adaptive_final_level", "adaptive_overhead_percent",
+    "adaptive_samples_skipped", "adaptive_ioctls",
+    "adaptive_sensor_glitches", "adaptive_frozen_observations",
+)
+
+
+def _adaptive_tool(budget: float = 2.0) -> KLebTool:
+    return KLebTool(control=ControlConfig(
+        overhead_budget_percent=budget,
+        min_period_ns=us(100), max_period_ns=ms(10)))
+
+
+def _run(tool, seed: int = 0, faults=None):
+    return run_monitored(
+        PhaseShiftWorkload.alternating(_PHASES), tool, events=_EVENTS,
+        period_ns=ms(1), seed=seed, faults=faults,
+    ).report
+
+
+def test_adaptive_report_carries_control_state():
+    report = _run(_adaptive_tool())
+    assert report.control is not None
+    for key in _ADAPTIVE_KEYS:
+        assert key in report.metadata, key
+    ledger = ControlLedger.from_rows(report.control)
+    assert ledger.conservation_ok(
+        final_depth=int(report.metadata["adaptive_open_depth"]))
+    assert report.metadata["adaptive_observations"] > 0
+
+
+def test_non_adaptive_report_is_untouched():
+    """Adaptive-off runs must look exactly like the pre-control format:
+    no control rows, no adaptive metadata."""
+    report = _run(create_tool("k-leb"))
+    assert report.control is None
+    assert not any(key.startswith("adaptive_") for key in report.metadata)
+
+
+def test_adaptive_off_and_on_same_seed_differ_only_when_stepping():
+    """An adaptive run whose controller never acts samples exactly like
+    a fixed run (the loop only perturbs when it actuates)."""
+    fixed = _run(create_tool("k-leb"), seed=3)
+    # A generous budget on this small workload never triggers a step...
+    adaptive = _run(_adaptive_tool(budget=90.0), seed=3)
+    assert adaptive.metadata["adaptive_degradations"] == 0
+    # ...and the sample series matches the fixed run bit for bit.
+    assert [
+        (sample.timestamp, sample.values) for sample in adaptive.samples
+    ] == [
+        (sample.timestamp, sample.values) for sample in fixed.samples
+    ]
+
+
+def test_report_json_round_trips_control_rows(tmp_path):
+    report = _run(_adaptive_tool(budget=0.3))
+    assert report.control  # the tight budget forces at least one step
+    path = tmp_path / "report.json"
+    save_report_json(report, path)
+    loaded = load_report_json(path)
+    assert loaded.control == report.control
+    assert loaded.metadata == report.metadata
+
+
+def test_json_omits_control_key_for_non_adaptive_runs(tmp_path):
+    report = _run(create_tool("k-leb"))
+    path = tmp_path / "report.json"
+    save_report_json(report, path)
+    assert '"control"' not in path.read_text()
+    assert load_report_json(path).control is None
+
+
+class TestFaultedAdaptRegression:
+    """Regression (pinned): a transient ioctl failure hitting the
+    *adapt* actuation must not double-apply the period step.
+
+    With this seed the injector's fourth record lands on the adapt
+    ioctl itself; the controller commits its state once in observe()
+    and the retried ioctl carries absolute targets, so the retry is
+    idempotent: exactly one degrade record, period 1 ms -> 2 ms (a
+    double-apply would read 4 ms or two records)."""
+
+    def _run_combined(self):
+        injector = FaultInjector(FaultPlan.parse("seed=2,ioctl=0.5"))
+        report = _run(_adaptive_tool(budget=0.3), seed=2, faults=injector)
+        return report, injector
+
+    def test_fault_hits_the_adapt_ioctl(self):
+        _, injector = self._run_combined()
+        assert [record.detail for record in injector.ledger.records] == \
+            ["config", "start", "start", "adapt"]
+
+    def test_shrink_applied_exactly_once(self):
+        report, _ = self._run_combined()
+        rows = report.control
+        assert len(rows) == 1
+        assert rows[0]["action"] == "degrade"
+        assert rows[0]["period_ns"] == ms(2)  # one x2 step, not x4
+
+    def test_metadata_counters_pinned(self):
+        report, _ = self._run_combined()
+        meta = report.metadata
+        assert meta["ioctl_retries"] == 4.0
+        assert meta["injected_faults"] == 4.0
+        assert meta["adaptive_ioctls"] == 1.0
+        assert meta["adaptive_degradations"] == 1.0
+        assert meta["adaptive_recoveries"] == 0.0
+        assert meta["adaptive_open_depth"] == 1.0
+        assert meta["adaptive_final_level"] == 1.0
+        assert meta["adaptive_final_period_ns"] == float(ms(2))
+        assert meta["adaptive_max_period_ns"] == float(ms(2))

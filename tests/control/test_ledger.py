@@ -1,0 +1,88 @@
+"""ControlLedger: recording, conservation, round-trip, rendering."""
+
+import pytest
+
+from repro.control import ControlLedger, LADDER_LEVELS
+
+
+def test_ladder_levels_order():
+    assert LADDER_LEVELS[0] == "nominal"
+    assert LADDER_LEVELS[-1] == "sample-dropping"
+    assert len(LADDER_LEVELS) == 5
+
+
+def test_record_and_count():
+    ledger = ControlLedger()
+    ledger.record(100, "degrade", 0, 1, 2000, "period -> 2us")
+    ledger.record(200, "degrade", 1, 2, 2000)
+    ledger.record(300, "recover", 2, 1, 2000)
+    ledger.record(400, "boost", 0, 0, 500)
+    assert len(ledger) == 4
+    assert ledger.count() == 4
+    assert ledger.count("degrade") == 2
+    assert ledger.count("recover") == 1
+    assert ledger.count("boost") == 1
+    assert ledger.open_depth == 1
+
+
+def test_unknown_action_rejected():
+    ledger = ControlLedger()
+    with pytest.raises(ValueError):
+        ledger.record(0, "explode", 0, 0, 1000)
+
+
+def test_conservation_balanced_history():
+    ledger = ControlLedger()
+    ledger.record(1, "degrade", 0, 1, 2000)
+    ledger.record(2, "degrade", 1, 2, 2000)
+    ledger.record(3, "recover", 2, 1, 2000)
+    ledger.record(4, "recover", 1, 0, 1000)
+    assert ledger.conservation_ok()
+    assert ledger.conservation_ok(final_depth=0)
+    assert not ledger.conservation_ok(final_depth=1)
+
+
+def test_conservation_rejects_negative_depth():
+    """A recovery cannot undo a degradation that never happened."""
+    ledger = ControlLedger()
+    ledger.record(1, "recover", 1, 0, 1000)
+    assert not ledger.conservation_ok()
+
+
+def test_boosts_do_not_affect_conservation():
+    ledger = ControlLedger()
+    ledger.record(1, "boost", 0, 0, 125)
+    ledger.record(2, "boost-release", 0, 0, 1000)
+    ledger.record(3, "boost", 0, 0, 125)
+    assert ledger.conservation_ok(final_depth=0)
+    assert ledger.open_depth == 0
+
+
+def test_rows_round_trip():
+    ledger = ControlLedger()
+    ledger.record(100, "degrade", 0, 1, 2000, "period -> 2us")
+    ledger.record(200, "boost", 0, 0, 125)
+    rows = ledger.to_rows()
+    assert rows[0] == {
+        "time_ns": 100, "action": "degrade", "level_from": 0,
+        "level_to": 1, "period_ns": 2000, "detail": "period -> 2us",
+    }
+    rebuilt = ControlLedger.from_rows(rows)
+    assert rebuilt.records == ledger.records
+
+
+def test_render_mentions_transitions_and_levels():
+    ledger = ControlLedger()
+    ledger.record(1_000_000, "degrade", 0, 1, 2000, "doubled")
+    text = ledger.render()
+    assert "transitions: 1" in text
+    assert "nominal -> period-lengthened" in text
+    assert "doubled" in text
+
+
+def test_render_truncates_long_histories():
+    ledger = ControlLedger()
+    for index in range(30):
+        ledger.record(index, "boost", 0, 0, 125)
+    text = ledger.render(limit=5)
+    assert "... and 25 more" in text

@@ -1,0 +1,153 @@
+"""Property-based tests for the closed-loop controller.
+
+The controller is a pure function of its observation sequence, so the
+key invariants must hold for *any* bounded perturbation trace, not
+just the scripted scenarios: the period stays inside its bounds, the
+hysteresis never flaps, the ledger always balances, and identical
+traces (or worker counts) produce bit-identical behaviour.
+"""
+
+import hashlib
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.control import AdaptiveController, ControlConfig, SensorReading
+from repro.experiments.runner import run_trials
+from repro.faults import FaultPlan
+from repro.sim.clock import ms, us
+from repro.tools.kleb.tool import KLebTool
+from repro.workloads.synthetic import PhaseShiftWorkload
+
+_DIRECTION = {"degrade": -1, "boost-release": -1,
+              "recover": +1, "boost": +1}
+
+#: One drain-cycle perturbation: (overhead percent, signal, paused,
+#: fresh drop).  Signals span sign flips and huge jumps; overheads
+#: span idle to pathological.
+observation = st.tuples(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    st.one_of(st.none(),
+              st.floats(min_value=-1e6, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)),
+    st.booleans(),
+    st.booleans(),
+)
+traces = st.lists(observation, min_size=1, max_size=120)
+
+
+def make_controller(multiplexed: bool = False) -> AdaptiveController:
+    return AdaptiveController(
+        ControlConfig(overhead_budget_percent=2.0,
+                      min_period_ns=us(100), max_period_ns=ms(10)),
+        nominal_period_ns=ms(1),
+        multiplexed=multiplexed,
+    )
+
+
+def replay(ctrl: AdaptiveController, trace):
+    """Feed a perturbation trace; return the decision list."""
+    now = 0
+    monitor = 0
+    dropped = 0
+    decisions = []
+    for overhead, signal, paused, drop in trace:
+        now += ms(10)
+        monitor += int(ms(10) * overhead / 100.0)
+        if drop:
+            dropped += 1
+        decisions.append(ctrl.observe(SensorReading(
+            now_ns=now, monitor_ns=monitor, signal=signal,
+            pressure=0.5, dropped=dropped, paused=paused,
+        )))
+    return decisions
+
+
+class TestBoundedPerturbations:
+    @given(traces)
+    @settings(max_examples=100, deadline=None)
+    def test_period_stays_within_bounds(self, trace):
+        ctrl = make_controller()
+        for decision in replay(ctrl, trace):
+            assert ctrl.min_period_ns <= decision.period_ns \
+                <= ctrl.max_period_ns
+        assert ctrl.min_period_ns <= ctrl.min_period_seen
+        assert ctrl.max_period_seen <= ctrl.max_period_ns
+
+    @given(traces, st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_actuation_state_stays_within_caps(self, trace, multiplexed):
+        ctrl = make_controller(multiplexed=multiplexed)
+        replay(ctrl, trace)
+        assert 1 <= ctrl.skip_factor <= ctrl.config.skip_factor_max
+        assert ctrl.rotate_slowdown in (
+            1, ctrl.config.rotate_slowdown_factor)
+        assert ctrl.drain_max_items in (
+            None, ctrl.config.drain_batch_shrunk)
+
+    @given(traces)
+    @settings(max_examples=100, deadline=None)
+    def test_ledger_conservation(self, trace):
+        ctrl = make_controller()
+        replay(ctrl, trace)
+        assert ctrl.ledger.conservation_ok(final_depth=ctrl.depth)
+
+    @given(traces)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_hysteresis(self, trace):
+        """No two opposing steps within one settle window."""
+        ctrl = make_controller()
+        steps = []
+        for index, decision in enumerate(replay(ctrl, trace)):
+            if decision.action:
+                steps.append((index, _DIRECTION[decision.action]))
+        settle = ctrl.config.settle_observations
+        for (obs_a, dir_a), (obs_b, dir_b) in zip(steps, steps[1:]):
+            if dir_a != dir_b:
+                assert obs_b - obs_a >= settle
+
+    @given(traces)
+    @settings(max_examples=50, deadline=None)
+    def test_same_trace_is_bit_identical(self, trace):
+        """No hidden randomness or wall-clock reads in the loop."""
+        first = make_controller()
+        second = make_controller()
+        assert replay(first, trace) == replay(second, trace)
+        assert first.ledger.records == second.ledger.records
+
+
+def _population_digest(seed: int, jobs: int) -> str:
+    tool = KLebTool(control=ControlConfig(
+        overhead_budget_percent=2.0,
+        min_period_ns=us(100), max_period_ns=ms(10)))
+    summaries = run_trials(
+        PhaseShiftWorkload.alternating((12e6, 9e6, 14e6)), tool,
+        runs=2, events=("LOADS", "STORES", "ARITH_MUL"),
+        period_ns=ms(1), base_seed=seed, jobs=jobs,
+        faults=FaultPlan.parse(
+            "seed=5,timer_jitter=0.2,ioctl=0.1,"
+            "control_sensor=0.2,control_freeze=0.15,"
+            "control_freeze_cycles=2"),
+    )
+    payload = [
+        {
+            "samples": [(sample.timestamp, sorted(sample.values.items()))
+                        for sample in summary.report.samples],
+            "metadata": sorted(summary.report.metadata.items()),
+            "control": summary.report.control,
+        }
+        for summary in summaries
+    ]
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+class TestWorkerCountInvariance:
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=4, deadline=None)
+    def test_faulted_adaptive_runs_identical_jobs1_vs_jobs4(self, seed):
+        """The faulted adaptive population — ladder history included —
+        must not depend on how trials fan out over workers."""
+        assert _population_digest(seed, jobs=1) \
+            == _population_digest(seed, jobs=4)

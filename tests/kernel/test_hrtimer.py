@@ -112,3 +112,58 @@ class TestFloorAndJitter:
             return fires
 
         assert collect() == collect()
+
+
+class TestReprogram:
+    """Dynamic period changes without tearing the timer down (the
+    adaptive controller's actuation path)."""
+
+    def test_reprogram_changes_firing_rate_in_place(self):
+        kernel = quiet_kernel()
+        fires = []
+        timer = HrTimer(kernel, fires.append)
+        timer.start(us(100))
+        kernel.run(deadline=us(300))
+        timer.reprogram(us(200))
+        kernel.run(deadline=us(1100))
+        assert timer.active
+        assert timer.period_ns == us(200)
+        # 3 fires on the 100 us grid, then a fresh 200 us grid anchored
+        # at the reprogram point.
+        assert fires[:3] == [us(100), us(200), us(300)]
+        assert len(fires) > 4
+        assert fires[3] <= us(300) + us(201)
+        assert all(late - early == us(200)
+                   for early, late in zip(fires[3:], fires[4:]))
+
+    def test_reprogram_while_inactive_only_stores_period(self):
+        kernel = quiet_kernel()
+        fires = []
+        timer = HrTimer(kernel, fires.append)
+        timer.reprogram(us(300))
+        assert not timer.active
+        kernel.run(deadline=ms(1))
+        assert fires == []
+        timer.start(us(300))
+        kernel.run(deadline=ms(2))
+        assert fires[0] == ms(1) + us(300)
+
+    def test_reprogram_below_floor_rejected(self):
+        kernel = quiet_kernel()
+        timer = HrTimer(kernel, lambda when: None)
+        timer.start(us(100))
+        with pytest.raises(TimerError):
+            timer.reprogram(us(5))
+        # The running timer is untouched by the failed reprogram.
+        assert timer.active
+        assert timer.period_ns == us(100)
+
+    def test_reprogram_same_period_keeps_firing(self):
+        kernel = quiet_kernel()
+        fires = []
+        timer = HrTimer(kernel, fires.append)
+        timer.start(us(100))
+        kernel.run(deadline=us(250))
+        timer.reprogram(us(100))
+        kernel.run(deadline=us(1000))
+        assert len(fires) >= 9

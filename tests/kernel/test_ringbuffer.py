@@ -150,3 +150,37 @@ class TestBackPressure:
         buffer.clear()
         assert not buffer.paused
         assert len(buffer) == 0
+
+
+class TestHighWatermark:
+    """Peak-occupancy tracking for the adaptive controller's pressure
+    sensor: the watermark records the worst fill level between drains."""
+
+    def test_watermark_tracks_peak_occupancy(self):
+        buffer = RingBuffer(8)
+        for value in range(5):
+            buffer.push(value)
+        buffer.drain()
+        assert buffer.take_high_watermark() == 5
+
+    def test_take_resets_to_current_occupancy(self):
+        buffer = RingBuffer(8)
+        for value in range(6):
+            buffer.push(value)
+        buffer.drain(4)  # two left
+        assert buffer.take_high_watermark() == 6
+        # After the take, the floor is what is still pooled.
+        assert buffer.take_high_watermark() == 2
+        buffer.push(10)
+        assert buffer.take_high_watermark() == 3
+
+    def test_watermark_unaffected_by_rejected_pushes(self):
+        buffer = RingBuffer(2)
+        buffer.push(1)
+        buffer.push(2)
+        buffer.push(3)  # rejected: full
+        assert buffer.take_high_watermark() == 2
+
+    def test_empty_buffer_watermark_zero(self):
+        buffer = RingBuffer(4)
+        assert buffer.take_high_watermark() == 0

@@ -74,10 +74,20 @@ class TestMonitor:
         out = capsys.readouterr().out
         assert "LLC_MISSES" in out
 
-    def test_monitor_multiplex_requires_kleb(self):
-        with pytest.raises(SystemExit):
-            main(["monitor", "--workload", "matmul", "--tool", "perf-stat",
-                  "--multiplex", "1"])
+    def test_monitor_multiplex_requires_kleb(self, capsys):
+        code = main(["monitor", "--workload", "matmul", "--tool", "perf-stat",
+                     "--multiplex", "1"])
+        assert code == 2
+        assert "--multiplex is only supported by the k-leb tool" \
+            in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-0.5"])
+    def test_monitor_multiplex_rejects_non_positive(self, capsys, value):
+        code = main(["monitor", "--workload", "matmul", "--tool", "k-leb",
+                     "--multiplex", value])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--multiplex must be a positive rotation period" in err
 
     def test_monitor_too_many_events_without_multiplex_errors(self):
         with pytest.raises(SystemExit, match="multiplex"):
@@ -85,6 +95,45 @@ class TestMonitor:
                   "--tool", "k-leb", "--period-ms", "0.1",
                   "--events",
                   "LOADS,STORES,BRANCHES,BRANCH_MISSES,LLC_MISSES"])
+
+
+class TestMonitorAdaptive:
+    def test_adapt_runs_and_summarizes_control(self, capsys):
+        code = main(["monitor", "--workload", "dgemm", "--tool", "k-leb",
+                     "--period-ms", "1", "--adapt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive control:" in out
+        assert "budget 2%" in out
+
+    def test_adapt_requires_kleb(self, capsys):
+        code = main(["monitor", "--workload", "matmul",
+                     "--tool", "perf-stat", "--adapt"])
+        assert code == 2
+        assert "--adapt is only supported by the k-leb tool" \
+            in capsys.readouterr().err
+
+    def test_overhead_budget_requires_adapt(self, capsys):
+        code = main(["monitor", "--workload", "matmul", "--tool", "k-leb",
+                     "--overhead-budget", "5"])
+        assert code == 2
+        assert "--overhead-budget requires --adapt" \
+            in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-3", "100.5"])
+    def test_overhead_budget_range_checked(self, capsys, value):
+        code = main(["monitor", "--workload", "matmul", "--tool", "k-leb",
+                     "--adapt", "--overhead-budget", value])
+        assert code == 2
+        assert "--overhead-budget must be in (0, 100]" \
+            in capsys.readouterr().err
+
+    def test_adapt_with_custom_budget(self, capsys):
+        code = main(["monitor", "--workload", "dgemm", "--tool", "k-leb",
+                     "--period-ms", "1", "--adapt",
+                     "--overhead-budget", "1.5"])
+        assert code == 0
+        assert "budget 1.5%" in capsys.readouterr().out
 
 
 class TestRun:
@@ -107,3 +156,9 @@ class TestRun:
         out = capsys.readouterr().out
         assert "rotation" in out
         assert "time_enabled/time_running" in out
+
+    def test_run_adaptive(self, capsys):
+        assert main(["run", "adaptive", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive controller:" in out
+        assert "adaptive dominates" in out

@@ -26,15 +26,18 @@ from typing import Dict
 
 import pytest
 
+from repro.control import ControlConfig
 from repro.experiments import fig9
 from repro.experiments.runner import run_monitored, run_trials
 from repro.faults import FaultPlan, RunLedger
 from repro.obs import hooks as obs_hooks
 from repro.sim.clock import ms, us
 from repro.tools.base import ToolReport
+from repro.tools.kleb.tool import KLebTool
 from repro.tools.registry import create_tool
 from repro.workloads.matmul import TripleLoopMatmul
 from repro.workloads.meltdown import MeltdownAttack, SecretPrinter
+from repro.workloads.synthetic import PhaseShiftWorkload
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_digests.json"
 
@@ -64,6 +67,10 @@ def report_document(report: ToolReport) -> Dict:
             {"timestamp": sample.timestamp, "values": dict(sample.values)}
             for sample in report.samples
         ],
+        # Adaptive runs only; omitting the key otherwise keeps every
+        # pre-control digest byte-identical.
+        **({"control": [dict(row) for row in report.control]}
+           if report.control is not None else {}),
     }
 
 
@@ -197,6 +204,47 @@ def compute_multiplex_digests(jobs: int = 1) -> Dict[str, str]:
     }
 
 
+_ADAPT_PHASES = (30e6, 24e6, 36e6, 20e6)
+_ADAPT_FAULT_SPEC = ("seed=21,timer_jitter=0.2,ioctl=0.15,squeeze=0.2,"
+                     "control_sensor=0.15,control_freeze=0.1,"
+                     "control_freeze_cycles=3")
+
+
+def _adaptive_tool() -> KLebTool:
+    return KLebTool(control=ControlConfig(
+        overhead_budget_percent=2.0,
+        min_period_ns=us(100),
+        max_period_ns=ms(10),
+    ))
+
+
+def compute_adaptive_digests(jobs: int = 1) -> Dict[str, str]:
+    """Closed-loop populations: clean and under control-site faults.
+
+    The controller is a pure function of the observation sequence, so
+    adaptive reports — the control ledger included — must pin across
+    worker counts exactly like the fixed-period scenarios.
+    """
+    summaries = run_trials(
+        PhaseShiftWorkload.alternating(_ADAPT_PHASES), _adaptive_tool(),
+        runs=3, events=_TABLE2_EVENTS, period_ns=ms(1), base_seed=17,
+        jobs=jobs,
+    )
+    faulted = run_trials(
+        PhaseShiftWorkload.alternating(_ADAPT_PHASES), _adaptive_tool(),
+        runs=3, events=_TABLE2_EVENTS, period_ns=ms(1), base_seed=17,
+        jobs=jobs, faults=FaultPlan.parse(_ADAPT_FAULT_SPEC),
+    )
+    return {
+        "adaptive/summaries": _sha256(
+            [report_document(summary.report) for summary in summaries]
+        ),
+        "adaptive/faulted": _sha256(
+            [report_document(summary.report) for summary in faulted]
+        ),
+    }
+
+
 def compute_obs_digests() -> Dict[str, str]:
     """Trace/metrics exports of a pinned-seed obs-enabled population.
 
@@ -227,6 +275,7 @@ def compute_all_digests() -> Dict[str, str]:
     digests.update(compute_fig9_digests())
     digests.update(compute_fault_digests())
     digests.update(compute_multiplex_digests())
+    digests.update(compute_adaptive_digests())
     digests.update(compute_obs_digests())
     return digests
 
@@ -282,6 +331,23 @@ def test_multiplex_digests_identical_across_worker_counts(golden):
     computed = compute_multiplex_digests(jobs=4)
     expected = {key: value for key, value in golden.items()
                 if key.startswith("multiplex/")}
+    assert computed == expected
+
+
+def test_adaptive_digests_match_golden(golden):
+    computed = compute_adaptive_digests()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("adaptive/")}
+    assert computed == expected
+
+
+def test_adaptive_digests_identical_across_worker_counts(golden):
+    """jobs=4 must hash to the jobs=1 golden values bit for bit —
+    the closed loop (and its faulted ladder history) draws nothing
+    from worker scheduling."""
+    computed = compute_adaptive_digests(jobs=4)
+    expected = {key: value for key, value in golden.items()
+                if key.startswith("adaptive/")}
     assert computed == expected
 
 
