@@ -45,6 +45,9 @@ OBS_OVERHEAD_CAP = 1.15
 OVERHEAD_CAPS = {
     "obs_overhead": OBS_OVERHEAD_CAP,
     "adaptive_overhead": 1.15,
+    # The armed-but-idle live telemetry plane (bus + publisher + HTTP
+    # server, no scrapers) is held to the same bound.
+    "live_overhead": 1.15,
 }
 
 
@@ -139,6 +142,8 @@ def main(argv=None) -> int:
     print(f"  observability on/off overhead ratio: {overhead:.3f}")
     adaptive = results["adaptive_overhead"]["overhead_ratio"]
     print(f"  adaptive-armed on/off overhead ratio: {adaptive:.3f}")
+    live = results["live_overhead"]["overhead_ratio"]
+    print(f"  live-plane-armed on/off overhead ratio: {live:.3f}")
 
     baseline = _load_baseline(args.quick)
     document = {

@@ -359,6 +359,83 @@ def bench_adaptive_overhead(quick: bool, repeats: int = 3) -> Dict[str, float]:
     return result
 
 
+def bench_live_overhead(quick: bool, repeats: int = 3) -> Dict[str, float]:
+    """Identical monitored run with the live telemetry plane off vs armed.
+
+    The "on" half is the full ``--live`` stack: a metrics recorder with
+    a non-retaining tracer feeding a flight ring, a publisher
+    heartbeating onto a started snapshot bus, and the HTTP server bound
+    — but *no scrapers*, so the ratio is the pure cost of arming the
+    plane: the per-hook heartbeat stride, flight-ring appends, and the
+    cadence-gated snapshot builds.  Same alternating off/on protocol
+    and dual estimator as ``bench_obs_overhead``; the gate caps the
+    armed-but-idle plane at 15 % on the end-to-end monitored path.
+    """
+    from repro.obs import hooks as obs_hooks
+    from repro.obs.live import (
+        FlightRecorder,
+        LivePublisher,
+        LiveServer,
+        LiveState,
+        SnapshotBus,
+        Watchdog,
+    )
+
+    n, rounds = (192, 24) if quick else (192, 36)
+    pairs = max(repeats, 5)
+
+    def scenario() -> int:
+        samples = 0
+        for _ in range(rounds):
+            result = run_monitored(
+                TripleLoopMatmul(n), create_tool("k-leb"),
+                events=FIG7_EVENTS, period_ns=us(100), seed=0,
+            )
+            samples += len(result.report.samples)
+        return max(1, samples)
+
+    scenario()  # warm allocators and import-time caches off the clock
+    flight = FlightRecorder()
+    recorder = obs_hooks.Recorder(trace=False, metrics=True, flight=flight)
+    state = LiveState(base_metrics=recorder.registry.to_json(),
+                      run_label="bench")
+    watchdog = Watchdog(flight=flight)
+    state.add_listener(watchdog.observe)
+    bus = SnapshotBus(state)
+    publisher = LivePublisher(bus)
+    publisher.bind(recorder)
+    recorder.publisher = publisher
+    bus.start()
+    server = LiveServer(state, watchdog, port=0)
+    server.start()
+    offs: List[Dict[str, float]] = []
+    ons: List[Dict[str, float]] = []
+    try:
+        for _ in range(pairs):
+            offs.append(_timed(scenario))
+            obs_hooks.install(recorder)
+            try:
+                ons.append(_timed(scenario))
+            finally:
+                obs_hooks.reset()
+    finally:
+        server.stop()
+        bus.stop()
+    off = min(offs, key=lambda sample: sample["ns_per_op"])
+    on = min(ons, key=lambda sample: sample["ns_per_op"])
+    pair_ratios = sorted(
+        on_s["ns_per_op"] / off_s["ns_per_op"]
+        for on_s, off_s in zip(ons, offs)
+    )
+    median_ratio = pair_ratios[len(pair_ratios) // 2]
+    result = dict(on)
+    result["off_ns_per_op"] = off["ns_per_op"]
+    result["overhead_ratio"] = min(
+        on["ns_per_op"] / off["ns_per_op"], median_ratio)
+    result["checksum"] = float(flight.recorded + bus.published)
+    return result
+
+
 _QUICK_SCALE = {
     "pmu_accumulate": 20_000,
     "event_queue": 40_000,
@@ -410,6 +487,7 @@ def run_suite(quick: bool = False,
         lambda: bench_end_to_end(quick), repeats)
     results["obs_overhead"] = bench_obs_overhead(quick, repeats)
     results["adaptive_overhead"] = bench_adaptive_overhead(quick, repeats)
+    results["live_overhead"] = bench_live_overhead(quick, repeats)
     calibration_ns = calibration["ns_per_op"]
     for name, metrics in results.items():
         metrics["calibrated"] = metrics["ns_per_op"] / calibration_ns

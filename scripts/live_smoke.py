@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI smoke test for the live telemetry plane (``--live``).
+
+Protocol:
+
+1. run a reference trial population with live telemetry OFF and keep
+   its stdout;
+2. run the identical population with ``--live 0`` (ephemeral port),
+   scrape ``/metrics``, ``/healthz``, and ``/runs`` *while the run is
+   in flight*, and assert the scrape carries every pre-registered
+   metric family plus the bus's ``live_*`` and the watchdog's
+   ``health_*`` families;
+3. assert the live run's report output is byte-identical to the
+   reference — the acceptance contract that arming the plane never
+   perturbs results.
+
+Exit 0 on success; any assertion or subprocess failure is fatal.
+Pure stdlib; run from the repo root::
+
+    PYTHONPATH=src python scripts/live_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+RUN_ARGS = ["run", "table1", "--runs", "4", "--jobs", "2", "--seed", "0"]
+
+# Families /metrics must expose from the very first scrape (the live
+# state is seeded with the recorder's pre-registered zero registry)
+# plus the live-plane families themselves.
+REQUIRED_FAMILIES = (
+    "hrtimer_fires_total",
+    "ringbuffer_pushes_total",
+    "kleb_drain_cycles_total",
+    "trials_total",
+    "trial_sim_wall_ns",
+    "live_snapshots_total",
+    "live_trials_running",
+    "health_check_state",
+    "health_watchdog_trips_total",
+)
+
+_URL_LINE = re.compile(r"live telemetry at (http://\S+)")
+
+
+def _cli(*extra: str) -> list:
+    return [sys.executable, "-m", "repro.cli"] + RUN_ARGS + list(extra)
+
+
+def _strip_live_lines(text: str) -> str:
+    return "".join(line for line in text.splitlines(keepends=True)
+                   if not line.startswith("live telemetry at")
+                   and not line.startswith("flight ring written"))
+
+
+def _scrape(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.read().decode("utf-8")
+
+
+def main() -> int:
+    print("reference run (live off)...")
+    reference = subprocess.run(_cli(), capture_output=True, text=True,
+                               check=True)
+
+    print("live run (--live 0)...")
+    live = subprocess.Popen(_cli("--live", "0"), stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True, bufsize=1)
+    assert live.stdout is not None
+    first = live.stdout.readline()
+    match = _URL_LINE.search(first)
+    if not match:
+        live.kill()
+        print(f"FAIL: expected the live-telemetry URL line first, "
+              f"got: {first!r}", file=sys.stderr)
+        return 1
+    base = match.group(1)
+    print(f"  endpoint: {base}")
+
+    # Scrape mid-run: the run is still producing output, so the
+    # process is alive while we hit the endpoints.
+    metrics_seen = ""
+    healthz_seen = None
+    runs_seen = None
+    for _ in range(100):
+        if live.poll() is not None:
+            break
+        try:
+            metrics_seen = _scrape(base + "/metrics")
+            healthz_seen = json.loads(_scrape(base + "/healthz"))
+            runs_seen = json.loads(_scrape(base + "/runs"))
+        except (urllib.error.URLError, OSError):
+            pass  # listener may be a beat behind; retry
+        if metrics_seen and healthz_seen is not None:
+            break
+        time.sleep(0.05)
+
+    output, _ = live.communicate(timeout=600)
+    if live.returncode != 0:
+        print(f"FAIL: live run exited {live.returncode}:\n{output}",
+              file=sys.stderr)
+        return 1
+    if not metrics_seen or healthz_seen is None or runs_seen is None:
+        print("FAIL: could not scrape the live endpoint mid-run",
+              file=sys.stderr)
+        return 1
+
+    missing = [family for family in REQUIRED_FAMILIES
+               if f"# TYPE {family} " not in metrics_seen]
+    if missing:
+        print(f"FAIL: /metrics is missing families: {missing}",
+              file=sys.stderr)
+        return 1
+    if healthz_seen.get("status") not in ("ok", "degraded"):
+        print(f"FAIL: bad /healthz body: {healthz_seen}", file=sys.stderr)
+        return 1
+    if sorted(healthz_seen.get("checks", {})) != sorted(
+            ("stalled-trial", "drop-storm", "budget-breach",
+             "quarantine-spike")):
+        print(f"FAIL: /healthz checks wrong: {healthz_seen}",
+              file=sys.stderr)
+        return 1
+    if "run" not in runs_seen or "trials" not in runs_seen:
+        print(f"FAIL: bad /runs body: {runs_seen}", file=sys.stderr)
+        return 1
+
+    live_clean = _strip_live_lines(output)
+    if live_clean != reference.stdout:
+        print("FAIL: live run report differs from the reference run",
+              file=sys.stderr)
+        for ref_line, live_line in zip(reference.stdout.splitlines(),
+                                       live_clean.splitlines()):
+            if ref_line != live_line:
+                print(f"  - {ref_line}\n  + {live_line}", file=sys.stderr)
+                break
+        return 1
+
+    print(f"live smoke passed: {len(metrics_seen.splitlines())} metric "
+          f"lines scraped, healthz={healthz_seen['status']}, "
+          f"{len(runs_seen['trials'])} trial rows, report byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,9 +86,16 @@ _FAULTS_HELP = (
 )
 
 _TRACE_HELP = ("record a Chrome trace-event file (Perfetto-loadable; "
-               ".jsonl suffix selects JSONL)")
+               ".jsonl suffix selects JSONL; .gz suffix gzips)")
 _METRICS_HELP = ("record a metrics file (Prometheus text; .json suffix "
-                 "selects the JSON document)")
+                 "selects the JSON document; .gz suffix gzips)")
+_LIVE_HELP = ("serve live run telemetry over loopback HTTP on PORT "
+              "(default 9137): /metrics (Prometheus), /healthz "
+              "(watchdog; 503 = degraded), /runs (JSON); watch with "
+              "`python -m repro.obs.top`")
+_FLIGHT_HELP = ("keep a bounded flight-recorder ring of recent trace "
+                "events and dump it to PATH on quarantines, watchdog "
+                "trips, crashes, and run end")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +103,10 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                         help=_TRACE_HELP)
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help=_METRICS_HELP)
+    parser.add_argument("--live", nargs="?", type=int, default=None,
+                        const=-1, metavar="PORT", help=_LIVE_HELP)
+    parser.add_argument("--flight", default=None, metavar="PATH",
+                        help=_FLIGHT_HELP)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -394,6 +405,56 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arm_live_plane(recorder, args, flight, dump_path: str):
+    """Build and start the live telemetry plane around ``recorder``.
+
+    Returns ``(bus, server)`` — both started; the caller owns shutdown.
+    The bus (and its fork-inherited queue) must exist before any worker
+    pool forks, which is why this runs before the command dispatch.
+    """
+    from repro.obs.live import (
+        LivePublisher,
+        LiveServer,
+        LiveState,
+        SnapshotBus,
+        Watchdog,
+    )
+    from repro.obs.live.server import DEFAULT_PORT
+
+    label = str(getattr(args, "experiment", None) or args.command)
+    # Seed the state with the pre-registered all-zero registry so
+    # /metrics exposes every family from the very first scrape.
+    state = LiveState(base_metrics=recorder.registry.to_json(),
+                      run_label=label)
+    watchdog = Watchdog(
+        flight=flight,
+        on_trip=lambda check, detail: flight.write(
+            dump_path, f"watchdog:{check}", {"detail": detail}),
+    )
+    state.add_listener(watchdog.observe)
+
+    def _dump_on_quarantine(snapshot) -> None:
+        if snapshot.status == "quarantined":
+            flight.write(dump_path,
+                         f"quarantine:trial-{snapshot.trial}")
+
+    state.add_listener(_dump_on_quarantine)
+    bus = SnapshotBus(state)
+    publisher = LivePublisher(bus)
+    publisher.bind(recorder)
+    recorder.publisher = publisher
+    bus.start()
+    server = None
+    if getattr(args, "live", None) is not None:
+        port = args.live if args.live >= 0 else DEFAULT_PORT
+        server = LiveServer(state, watchdog, port=port)
+        server.start()
+        print(f"live telemetry at {server.url}  "
+              f"(/metrics /healthz /runs; `python -m repro.obs.top"
+              f" --url {server.url}`)")
+    return bus, server
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -401,11 +462,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list-events":
         return _cmd_list_events(args)
     # Observability is off (null recorder, zero cost) unless asked for.
+    wants_artifacts = bool(getattr(args, "trace", None)
+                           or getattr(args, "metrics", None))
+    live_armed = (getattr(args, "live", None) is not None
+                  or getattr(args, "flight", None) is not None)
     recorder = None
-    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+    flight = bus = server = None
+    flight_dump_path = getattr(args, "flight", None) or "repro.flight.json"
+    if wants_artifacts or live_armed:
         from repro.obs import hooks as obs_hooks
 
-        recorder = obs_hooks.Recorder(trace=True, metrics=True)
+        if live_armed:
+            from repro.obs.live import FlightRecorder
+
+            flight = FlightRecorder()
+        # Pure --live/--flight runs keep the tracer non-retaining: the
+        # flight ring sees every event at O(ring) memory, nothing more.
+        recorder = obs_hooks.Recorder(trace=wants_artifacts, metrics=True,
+                                      flight=flight)
+        if live_armed:
+            bus, server = _arm_live_plane(recorder, args, flight,
+                                          flight_dump_path)
         obs_hooks.install(recorder)
     try:
         if args.command == "run":
@@ -416,7 +493,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             status = _cmd_monitor(args)
         else:
             raise AssertionError("unreachable")
+    except BaseException as error:
+        if flight is not None:
+            # The post-mortem the flight recorder exists for.
+            flight.write(flight_dump_path, "crash",
+                         {"error": repr(error)})
+            print(f"flight ring written to {flight_dump_path} (crash)",
+                  file=sys.stderr)
+        raise
     finally:
+        if bus is not None:
+            bus.stop()
+        if server is not None:
+            server.stop()
         if recorder is not None:
             from repro.obs import hooks as obs_hooks
 
@@ -428,6 +517,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.metrics:
             recorder.write_metrics(args.metrics)
             print(f"metrics written to {args.metrics}")
+        if getattr(args, "flight", None):
+            flight.write(args.flight, "run-complete")
+            print(f"flight ring written to {args.flight}")
     return status
 
 

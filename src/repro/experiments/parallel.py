@@ -112,6 +112,8 @@ def _run_one(trial: int):
     # under a fresh child recorder whose chunk rides home on the
     # summary for the parent's trial-ordered merge.
     with obs_hooks.trial_capture(trial) as obs_child:
+        if obs_child is not None:
+            obs_child.trial_started(trial)
         result = run_monitored(
             ctx.program, ctx.tool, events=ctx.events,
             period_ns=ctx.period_ns, seed=ctx.base_seed + trial,

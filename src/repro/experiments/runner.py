@@ -256,6 +256,8 @@ def run_trial_faulted(program: Program, tool: MonitoringTool, trial: int, *,
     records: List[FaultRecord] = []
     last_error = ""
     with obs_hooks.trial_capture(trial) as obs_child:
+        if obs_child is not None:
+            obs_child.trial_started(trial)
         for attempt in range(1, MAX_TRIAL_ATTEMPTS + 1):
             injector = FaultInjector(plan, trial=trial)
             inject_timeout = (fate.kind == "timeout"
@@ -420,6 +422,8 @@ def run_trials(program: Program, tool: MonitoringTool,
     for trial in range(runs):
         started = time.perf_counter()
         with obs_hooks.trial_capture(trial) as obs_child:
+            if obs_child is not None:
+                obs_child.trial_started(trial)
             result = run_monitored(
                 program, tool, events=events, period_ns=period_ns,
                 seed=base_seed + trial, machine_config=machine_config,

@@ -12,6 +12,7 @@ for ``python -m repro.obs.report`` and CI artifact checks.
 from __future__ import annotations
 
 import csv
+import gzip
 import json
 from pathlib import Path
 from typing import Dict, List, Union
@@ -26,6 +27,49 @@ PathLike = Union[str, Path]
 
 class ReportIOError(ReproError):
     """Malformed report file or incompatible version."""
+
+
+def effective_suffix(path: PathLike) -> str:
+    """The format-selecting suffix, seeing through a trailing ``.gz``.
+
+    ``trace.jsonl.gz`` → ``.jsonl``; ``metrics.json`` → ``.json``.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return Path(path.stem).suffix
+    return path.suffix
+
+
+def write_artifact_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path``, gzip-compressed for ``*.gz`` paths.
+
+    The gzip stream is written with ``mtime=0`` and no embedded file
+    name, so compressed artifacts are as byte-deterministic as the
+    plain ones and can be digest-pinned the same way.
+    """
+    path = Path(path)
+    data = text.encode("utf-8")
+    if path.suffix == ".gz":
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(filename="", fileobj=raw, mode="wb",
+                               mtime=0) as handle:
+                handle.write(data)
+    else:
+        path.write_bytes(data)
+
+
+def read_artifact_text(path: PathLike) -> str:
+    """Read ``path`` as text, transparently gunzipping ``*.gz`` files.
+
+    A corrupt gzip stream surfaces as :class:`OSError`
+    (``gzip.BadGzipFile`` subclasses it), which the artifact loaders
+    below already translate into :class:`ReportIOError`.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return handle.read()
+    return path.read_text()
 
 
 def save_report_json(report: ToolReport, path: PathLike,
@@ -148,14 +192,14 @@ def load_trace_events(path: PathLike) -> List[Dict[str, object]]:
 
     Accepts both formats the tracer writes: the Perfetto document
     (``{"traceEvents": [...]}`` — metadata ``M`` events included) and
-    JSONL (one event object per line).
+    JSONL (one event object per line), plain or gzipped (``.gz``).
     """
     try:
-        text = Path(path).read_text()
+        text = read_artifact_text(path)
     except OSError as error:
         raise ReportIOError(f"cannot read trace from {path}: {error}") from error
     try:
-        if Path(path).suffix == ".jsonl":
+        if effective_suffix(path) == ".jsonl":
             return [json.loads(line) for line in text.splitlines() if line]
         document = json.loads(text)
     except json.JSONDecodeError as error:
@@ -168,16 +212,16 @@ def load_trace_events(path: PathLike) -> List[Dict[str, object]]:
 
 
 def load_metrics(path: PathLike) -> Dict[str, Dict[str, object]]:
-    """Read a metrics file (Prometheus text or the JSON document) into
-    the ``{name: {kind, samples}}`` shape of
+    """Read a metrics file (Prometheus text or the JSON document,
+    plain or gzipped) into the ``{name: {kind, samples}}`` shape of
     :func:`repro.obs.metrics.parse_prometheus_text`."""
     from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
 
     try:
-        text = Path(path).read_text()
+        text = read_artifact_text(path)
     except OSError as error:
         raise ReportIOError(f"cannot read metrics from {path}: {error}") from error
-    if Path(path).suffix == ".json":
+    if effective_suffix(path) == ".json":
         try:
             registry = MetricsRegistry.from_json(json.loads(text))
         except (json.JSONDecodeError, ReproError) as error:

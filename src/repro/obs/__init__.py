@@ -10,11 +10,15 @@ Three cooperating pieces:
 * :mod:`repro.obs.hooks` — the hook-point protocol the instrumented
   hot paths call, with a null recorder installed by default so the
   whole subsystem is a strict no-op until the CLI (or a test) installs
-  a live :class:`~repro.obs.hooks.Recorder`.
+  a live :class:`~repro.obs.hooks.Recorder`;
+* :mod:`repro.obs.live` — the streaming half: snapshot bus, Prometheus
+  HTTP endpoint, run-health watchdog, and flight recorder, armed with
+  the CLI's ``--live [PORT]`` / ``--flight PATH`` flags.
 
 See ``docs/observability.md`` for the span taxonomy and metric
-catalogue, and ``python -m repro.obs.report`` for a terminal summary
-of a recorded trace/metrics pair.
+catalogue, ``python -m repro.obs.report`` for a terminal summary of a
+recorded trace/metrics pair, and ``python -m repro.obs.top`` for the
+live per-trial view of a ``--live`` run.
 """
 
 from repro.obs.hooks import (

@@ -80,7 +80,9 @@ class NullRecorder:
                            period_ns: int) -> None: pass
     def control_observation(self, now: int,
                             overhead_percent: Optional[float],
-                            level: int) -> None: pass
+                            level: int,
+                            budget_percent: Optional[float] = None
+                            ) -> None: pass
     def control_step(self, now: int, action: str, level: int,
                      period_ns: int) -> None: pass
     def control_frozen(self, now: int) -> None: pass
@@ -90,6 +92,7 @@ class NullRecorder:
     def fault_recovered(self, time_ns: int, site: str) -> None: pass
 
     # -- runner ---------------------------------------------------------
+    def trial_started(self, trial: int) -> None: pass
     def trial_span(self, trial: int, seed: int, program: str, tool: str,
                    wall_ns: int, samples: int) -> None: pass
     def trial_retry(self, trial: int, attempt: int, kind: str) -> None: pass
@@ -110,10 +113,21 @@ class Recorder(NullRecorder):
     enabled = True
 
     def __init__(self, trace: bool = True, metrics: bool = True,
-                 wallclock: bool = False) -> None:
+                 wallclock: bool = False, flight=None,
+                 publisher=None) -> None:
+        # ``flight`` (a FlightRecorder ring) tees off the tracer's
+        # record choke point; with trace=False the tracer runs in
+        # non-retaining mode so the ring still sees recent events at
+        # O(ring) memory.  ``publisher`` (a LivePublisher) streams
+        # progress snapshots; both default off and cost nothing then.
         self.tracer: Optional[Tracer] = (
-            Tracer(wallclock=wallclock) if trace else None
+            Tracer(wallclock=wallclock, flight=flight, retain=trace)
+            if (trace or flight is not None) else None
         )
+        self.flight = flight
+        self.publisher = publisher
+        if publisher is not None:
+            publisher.bind(self)
         self.registry = MetricsRegistry()
         self.wallclock = wallclock
         self.metrics_enabled = metrics
@@ -238,6 +252,9 @@ class Recorder(NullRecorder):
         hist.counts[bisect_left(hist.bounds, lateness_ns)] += 1
         hist.sum += lateness_ns
         hist.count += 1
+        publisher = self.publisher
+        if publisher is not None:
+            publisher.heartbeat(when)
 
     def timer_missed(self, label: str, when: int) -> None:
         self._timer_missed.inc()
@@ -290,6 +307,9 @@ class Recorder(NullRecorder):
                  "interval_ns": interval_ns},
                 category="controller",
             )
+        publisher = self.publisher
+        if publisher is not None:
+            publisher.heartbeat(end_ns)
 
     def drain_shrunk(self, now: int, interval_ns: int) -> None:
         self._drain_shrinks.inc()
@@ -359,12 +379,23 @@ class Recorder(NullRecorder):
 
     def control_observation(self, now: int,
                             overhead_percent: Optional[float],
-                            level: int) -> None:
+                            level: int,
+                            budget_percent: Optional[float] = None
+                            ) -> None:
         control = self._control_metrics()
         control["observations"].inc()
         control["level"].set_max(level)
         if overhead_percent is not None:
             control["overhead"].observe(overhead_percent)
+        publisher = self.publisher
+        if publisher is not None:
+            # Keep the live fields fresh so the next snapshot carries
+            # the ladder level and the budget the watchdog checks
+            # breaches against.
+            publisher.level = level
+            publisher.overhead_percent = overhead_percent
+            if budget_percent is not None:
+                publisher.budget_percent = budget_percent
 
     def control_step(self, now: int, action: str, level: int,
                      period_ns: int) -> None:
@@ -395,6 +426,13 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------
     # runner
     # ------------------------------------------------------------------
+    def trial_started(self, trial: int) -> None:
+        publisher = self.publisher
+        if publisher is not None:
+            # Announce the trial on the bus immediately so /runs shows
+            # it as running before the first cadence-gated heartbeat.
+            publisher.publish(0, "running")
+
     def trial_span(self, trial: int, seed: int, program: str, tool: str,
                    wall_ns: int, samples: int) -> None:
         self._trials.inc()
@@ -406,6 +444,12 @@ class Recorder(NullRecorder):
                  "tool": tool, "samples": samples},
                 category="runner",
             )
+        publisher = self.publisher
+        if publisher is not None:
+            # The unconditional final snapshot: whatever the heartbeat
+            # cadence did, the merged live view converges on the
+            # post-hoc registry because this one always lands.
+            publisher.publish(wall_ns, "done")
 
     def trial_retry(self, trial: int, attempt: int, kind: str) -> None:
         self._trial_retries.inc()
@@ -420,6 +464,9 @@ class Recorder(NullRecorder):
             self.tracer.instant("trial-quarantined", "runner", 0,
                                 {"trial": trial, "attempts": attempts},
                                 category="runner")
+        publisher = self.publisher
+        if publisher is not None:
+            publisher.publish(0, "quarantined")
 
     # ------------------------------------------------------------------
     # spans for ad-hoc callers (report tool, experiments)
@@ -436,13 +483,41 @@ class Recorder(NullRecorder):
             self.tracer.end(handle, end_ns)
 
     # ------------------------------------------------------------------
+    # live telemetry
+    # ------------------------------------------------------------------
+    def live_sample(self) -> Dict[str, int]:
+        """The scalar progress fields a live snapshot carries.
+
+        Reads the already-maintained metric objects — a handful of
+        float loads, no aggregation pass — so publication stays cheap
+        enough for a heartbeat cadence.
+        """
+        return {
+            "samples": int(self._buffer_pushes.value),
+            "drops": int(self._buffer_drops.value),
+            "timer_fires": int(self._timer_fires.value),
+            "faults": int(sum(series.value for series
+                              in self._faults_landed.series.values())),
+        }
+
+    # ------------------------------------------------------------------
     # trial chunks
     # ------------------------------------------------------------------
     def child_for_trial(self, trial: int) -> "Recorder":
-        """A fresh recorder with this one's flags, stamped ``pid=trial``."""
-        child = Recorder(trace=self.tracer is not None,
+        """A fresh recorder with this one's flags, stamped ``pid=trial``.
+
+        The flight ring is *shared* (one bounded window of the recent
+        past per process); the publisher is *cloned* per trial so
+        snapshots carry the right trial index and sequence numbers.
+        """
+        child = Recorder(trace=(self.tracer is not None
+                                and self.tracer.retain),
                          metrics=self.metrics_enabled,
-                         wallclock=self.wallclock)
+                         wallclock=self.wallclock,
+                         flight=self.flight,
+                         publisher=(self.publisher.for_trial(trial)
+                                    if self.publisher is not None
+                                    else None))
         if child.tracer is not None:
             child.tracer.pid = trial
         return child
@@ -464,7 +539,7 @@ class Recorder(NullRecorder):
     # output
     # ------------------------------------------------------------------
     def write_trace(self, path) -> None:
-        if self.tracer is None:
+        if self.tracer is None or not self.tracer.retain:
             raise ValueError("recorder was created with trace=False")
         self.tracer.write(path)
 

@@ -1,0 +1,49 @@
+"""Live telemetry plane: snapshot bus, HTTP endpoints, watchdog, flight.
+
+Four cooperating pieces turn the post-hoc ``repro.obs`` artifacts into
+a streaming observability plane without touching the determinism or
+zero-cost-when-off contracts:
+
+* :mod:`repro.obs.live.bus` — trial workers publish immutable
+  :class:`~repro.obs.live.bus.Snapshot` progress reports over a
+  process-safe channel; a drainer thread folds them into a merged
+  :class:`~repro.obs.live.bus.LiveState`;
+* :mod:`repro.obs.live.server` — a stdlib ``ThreadingHTTPServer``
+  exposing ``/metrics`` (Prometheus 0.0.4), ``/healthz``, ``/runs``;
+* :mod:`repro.obs.live.watchdog` — snapshot streams folded into four
+  health checks (stalled trial, drop storm, overhead-budget breach,
+  quarantine spike);
+* :mod:`repro.obs.live.flight` — a bounded ring of the recent trace
+  past, dumped on quarantine, watchdog trips, and crashes.
+
+The CLI arms all four with ``--live [PORT]``; watch a run with
+``python -m repro.obs.top``.  See ``docs/observability.md`` ("Live
+telemetry plane") for the snapshot schema and the overhead contract.
+"""
+
+from repro.obs.live.bus import (
+    DEFAULT_PUBLISH_INTERVAL_S,
+    LivePublisher,
+    LiveState,
+    Snapshot,
+    SnapshotBus,
+)
+from repro.obs.live.flight import DEFAULT_RING_CAPACITY, FlightRecorder
+from repro.obs.live.server import DEFAULT_PORT, LiveServer, render_metrics
+from repro.obs.live.watchdog import CHECKS, Watchdog, WatchdogConfig
+
+__all__ = [
+    "DEFAULT_PUBLISH_INTERVAL_S",
+    "LivePublisher",
+    "LiveState",
+    "Snapshot",
+    "SnapshotBus",
+    "DEFAULT_RING_CAPACITY",
+    "FlightRecorder",
+    "DEFAULT_PORT",
+    "LiveServer",
+    "render_metrics",
+    "CHECKS",
+    "Watchdog",
+    "WatchdogConfig",
+]

@@ -1,0 +1,169 @@
+"""The live HTTP plane: ``/metrics``, ``/healthz``, ``/runs``.
+
+A stdlib-only :class:`~http.server.ThreadingHTTPServer` serving three
+read-only views of the snapshot bus:
+
+* ``GET /metrics`` — Prometheus 0.0.4 exposition text: the merged
+  live registries (every family the recorder pre-registers, rendered
+  by the existing :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`
+  exporter) followed by the bus's own ``live_*`` families and the
+  watchdog's ``health_*`` families;
+* ``GET /healthz`` — the watchdog verdict as JSON; HTTP 200 while
+  every check is ok, 503 while any is tripped (so a Kubernetes-style
+  probe needs no body parsing);
+* ``GET /runs`` — run/trial status as JSON (what
+  ``python -m repro.obs.top`` polls).
+
+Scrapers read *copies* built under the state lock; nothing here can
+reach into, much less steer, the simulation.  Handler threads are
+daemonic and the listener binds loopback by default — this is an
+operator window, not a public service.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.live.bus import LiveState
+from repro.obs.live.watchdog import Watchdog
+
+DEFAULT_PORT = 9137
+
+
+def render_live_families(state: LiveState) -> str:
+    """The ``live_*`` families (bus bookkeeping) as exposition text."""
+    from repro.obs.metrics import MetricsRegistry
+
+    counts = state.counts()
+    registry = MetricsRegistry()
+    registry.counter(
+        "live_snapshots_total",
+        "snapshots applied to the live state").default.inc(
+            counts["snapshots"])
+    registry.gauge(
+        "live_trials_running",
+        "trials currently publishing").default.set(counts["running"])
+    registry.gauge(
+        "live_trials_done",
+        "trials finished cleanly").default.set(counts["done"])
+    registry.gauge(
+        "live_trials_quarantined",
+        "trials quarantined by the runner").default.set(
+            counts["quarantined"])
+    return registry.to_prometheus()
+
+
+def render_metrics(state: LiveState,
+                   watchdog: Optional[Watchdog] = None) -> str:
+    """The full ``/metrics`` body."""
+    text = state.merged_registry().to_prometheus()
+    text += render_live_families(state)
+    if watchdog is not None:
+        text += watchdog.to_prometheus()
+    return text
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes against the server's bound state/watchdog."""
+
+    server_version = "repro-live/1"
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # scraper went away mid-write; nothing to clean up
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        state: LiveState = self.server.live_state  # type: ignore[attr-defined]
+        watchdog: Optional[Watchdog] = \
+            self.server.live_watchdog  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                       render_metrics(state, watchdog))
+        elif path == "/healthz":
+            if watchdog is None:
+                body = {"status": "ok", "degraded_checks": [],
+                        "checks": {}}
+                healthy = True
+            else:
+                body = watchdog.health()
+                healthy = body["status"] == "ok"
+            self._send(200 if healthy else 503, "application/json",
+                       json.dumps(body, sort_keys=True) + "\n")
+        elif path == "/runs":
+            self._send(200, "application/json",
+                       json.dumps(state.runs_document(), sort_keys=True)
+                       + "\n")
+        elif path == "/":
+            self._send(200, "text/plain; charset=utf-8",
+                       "repro live telemetry\n"
+                       "  /metrics  Prometheus exposition\n"
+                       "  /healthz  watchdog verdict (503 = degraded)\n"
+                       "  /runs     run/trial status JSON\n")
+        else:
+            self._send(404, "text/plain; charset=utf-8",
+                       f"no such endpoint: {path}\n")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes are not worth stderr lines on the run console
+
+
+class LiveServer:
+    """Owns the listener socket and its serve thread."""
+
+    def __init__(self, state: LiveState,
+                 watchdog: Optional[Watchdog] = None,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> None:
+        self.state = state
+        self.watchdog = watchdog
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (meaningful after start(); port 0 binds
+        an ephemeral one)."""
+        if self._httpd is None:
+            return self.port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.bound_port}"
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.bound_port
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.live_state = self.state  # type: ignore[attr-defined]
+        httpd.live_watchdog = self.watchdog  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(target=httpd.serve_forever,
+                                        name="repro-live-http",
+                                        daemon=True)
+        self._thread.start()
+        return self.bound_port
+
+    def stop(self) -> None:
+        """Shut the listener down (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)

@@ -1,0 +1,263 @@
+"""Run-health watchdog: snapshot streams in, health states out.
+
+The watchdog is a pure consumer of the snapshot bus — it subscribes to
+:class:`~repro.obs.live.bus.LiveState` and turns per-trial snapshot
+deltas into four health checks:
+
+* **stalled-trial** — a running trial whose simulated time and sample
+  count are unchanged across ``stall_intervals`` consecutive
+  publications (a hung worker, a deadlocked drain loop);
+* **drop-storm** — a trial shedding ``storm_drops`` or more ring-buffer
+  samples per publication interval for ``storm_intervals`` in a row,
+  with hysteresis: the episode only clears after ``calm_intervals``
+  quiet publications, so a storm flapping on and off inside the window
+  is one episode, not a trip per gust;
+* **budget-breach** — the adaptive controller's smoothed overhead above
+  its own budget for ``breach_intervals`` consecutive observations.
+  Terminal snapshots count too: a breach on a trial's final window
+  trips even though the trial is already done;
+* **quarantine-spike** — ``quarantine_spike`` or more trials
+  quarantined over the run (a systemic fault, not one bad seed).
+
+Each trip increments ``health_watchdog_trips_total{check}``, raises
+``health_check_state{check}`` to 1, records a ``health:<check>``
+instant into the flight-recorder ring (the deterministic trace
+artifact is deliberately untouched — live health is wall-clock
+territory and must never perturb pinned digests), and fires the
+``on_trip`` callback (the CLI wires this to a flight dump).  Checks
+clear when their condition resolves; ``/healthz`` reports 503 while
+any check is tripped.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.obs.live.bus import Snapshot
+from repro.obs.live.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+
+CHECKS = ("stalled-trial", "drop-storm", "budget-breach",
+          "quarantine-spike")
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Thresholds; all counted in publication intervals."""
+
+    #: Consecutive no-progress publications before a trial is stalled.
+    stall_intervals: int = 4
+    #: New drops per publication interval that count as storming.
+    storm_drops: int = 50
+    #: Consecutive storming publications before the check trips.
+    storm_intervals: int = 2
+    #: Quiet publications required to clear an active storm episode.
+    calm_intervals: int = 3
+    #: Consecutive over-budget observations before the check trips.
+    breach_intervals: int = 2
+    #: Quarantined trials over the run before the check trips.
+    quarantine_spike: int = 2
+
+
+class _TrialTrack:
+    """Per-trial delta state the checks fold snapshots into."""
+
+    __slots__ = ("sim_now_ns", "samples", "drops", "stall_streak",
+                 "stalled", "storm_streak", "calm_streak", "storming",
+                 "breach_streak", "breached")
+
+    def __init__(self) -> None:
+        self.sim_now_ns = -1
+        self.samples = -1
+        self.drops = 0
+        self.stall_streak = 0
+        self.stalled = False
+        self.storm_streak = 0
+        self.calm_streak = 0
+        self.storming = False
+        self.breach_streak = 0
+        self.breached = False
+
+
+class Watchdog:
+    """Fold snapshots into health states; see the module docstring."""
+
+    def __init__(self, config: Optional[WatchdogConfig] = None,
+                 flight: Optional[FlightRecorder] = None,
+                 on_trip: Optional[Callable[[str, str], None]] = None
+                 ) -> None:
+        self.config = config if config is not None else WatchdogConfig()
+        self.flight = flight
+        self.on_trip = on_trip
+        self._lock = threading.Lock()
+        self._tracks: Dict[int, _TrialTrack] = {}
+        self._quarantined: set = set()
+        self._details: Dict[str, str] = {check: "" for check in CHECKS}
+        self.registry = MetricsRegistry()
+        self._trips = self.registry.counter(
+            "health_watchdog_trips_total",
+            "watchdog health-check trips by check", label_names=("check",))
+        self._states = self.registry.gauge(
+            "health_check_state",
+            "1 while the named health check is tripped, else 0",
+            label_names=("check",))
+        for check in CHECKS:
+            # Pre-seed the series so every check exports from scrape 1.
+            self._trips.labels(check)
+            self._states.labels(check)
+
+    # ------------------------------------------------------------------
+    # Trip/clear plumbing
+    # ------------------------------------------------------------------
+    def _trip(self, check: str, detail: str, sim_now_ns: int) -> None:
+        self._trips.labels(check).inc()
+        self._states.labels(check).set(1.0)
+        self._details[check] = detail
+        if self.flight is not None:
+            self.flight.instant(f"health:{check}", "live", sim_now_ns,
+                                {"detail": detail}, category="health")
+        if self.on_trip is not None:
+            self.on_trip(check, detail)
+
+    def _clear(self, check: str) -> None:
+        self._states.labels(check).set(0.0)
+        self._details[check] = ""
+
+    def _any_track(self, predicate) -> bool:
+        return any(predicate(track) for track in self._tracks.values())
+
+    # ------------------------------------------------------------------
+    # The snapshot listener
+    # ------------------------------------------------------------------
+    def observe(self, snapshot: Snapshot) -> None:
+        """Fold one snapshot in (wired as a ``LiveState`` listener)."""
+        config = self.config
+        with self._lock:
+            track = self._tracks.get(snapshot.trial)
+            if track is None:
+                track = self._tracks[snapshot.trial] = _TrialTrack()
+            first = track.sim_now_ns < 0
+
+            # -- stalled-trial ------------------------------------------
+            progressed = (snapshot.sim_now_ns != track.sim_now_ns
+                          or snapshot.samples != track.samples)
+            if snapshot.status == "running" and not first:
+                if progressed:
+                    track.stall_streak = 0
+                    if track.stalled:
+                        track.stalled = False
+                        if not self._any_track(lambda t: t.stalled):
+                            self._clear("stalled-trial")
+                else:
+                    track.stall_streak += 1
+                    if (track.stall_streak >= config.stall_intervals
+                            and not track.stalled):
+                        track.stalled = True
+                        self._trip(
+                            "stalled-trial",
+                            f"trial {snapshot.trial} made no progress "
+                            f"across {track.stall_streak} publications "
+                            f"(sim time {snapshot.sim_now_ns} ns)",
+                            snapshot.sim_now_ns)
+            elif snapshot.status != "running" and track.stalled:
+                # A terminal snapshot resolves the stall by definition.
+                track.stalled = False
+                track.stall_streak = 0
+                if not self._any_track(lambda t: t.stalled):
+                    self._clear("stalled-trial")
+
+            # -- drop-storm ---------------------------------------------
+            delta_drops = (snapshot.drops - track.drops if not first
+                           else snapshot.drops)
+            if delta_drops >= config.storm_drops:
+                track.storm_streak += 1
+                track.calm_streak = 0
+                if (track.storm_streak >= config.storm_intervals
+                        and not track.storming):
+                    track.storming = True
+                    self._trip(
+                        "drop-storm",
+                        f"trial {snapshot.trial} dropped {delta_drops} "
+                        f"samples in one publication interval",
+                        snapshot.sim_now_ns)
+            else:
+                # Hysteresis: one calm interval does not end an episode,
+                # so a flapping storm cannot re-trip per gust.
+                track.calm_streak += 1
+                if track.calm_streak >= config.calm_intervals:
+                    track.storm_streak = 0
+                    if track.storming:
+                        track.storming = False
+                        if not self._any_track(lambda t: t.storming):
+                            self._clear("drop-storm")
+
+            # -- budget-breach ------------------------------------------
+            # Evaluated for terminal snapshots too: a breach carried on
+            # the final window still counts.
+            overhead = snapshot.overhead_percent
+            budget = snapshot.budget_percent
+            if overhead is not None and budget is not None:
+                if overhead > budget:
+                    track.breach_streak += 1
+                    if (track.breach_streak >= config.breach_intervals
+                            and not track.breached):
+                        track.breached = True
+                        self._trip(
+                            "budget-breach",
+                            f"trial {snapshot.trial} overhead "
+                            f"{overhead:.2f}% above budget {budget:g}% "
+                            f"for {track.breach_streak} observations",
+                            snapshot.sim_now_ns)
+                else:
+                    track.breach_streak = 0
+                    if track.breached:
+                        track.breached = False
+                        if not self._any_track(lambda t: t.breached):
+                            self._clear("budget-breach")
+
+            # -- quarantine-spike ---------------------------------------
+            if snapshot.status == "quarantined":
+                self._quarantined.add(snapshot.trial)
+                if (len(self._quarantined) >= config.quarantine_spike
+                        and not self._details["quarantine-spike"]):
+                    self._trip(
+                        "quarantine-spike",
+                        f"{len(self._quarantined)} trials quarantined "
+                        f"(threshold {config.quarantine_spike})",
+                        snapshot.sim_now_ns)
+
+            track.sim_now_ns = snapshot.sim_now_ns
+            track.samples = snapshot.samples
+            track.drops = snapshot.drops
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` body: overall status plus per-check detail."""
+        with self._lock:
+            checks: Dict[str, Dict[str, object]] = {}
+            for check in CHECKS:
+                tripped = self._states.labels(check).value > 0
+                checks[check] = {
+                    "state": "tripped" if tripped else "ok",
+                    "trips": int(self._trips.labels(check).value),
+                    "detail": self._details[check],
+                }
+            degraded = [check for check, entry in checks.items()
+                        if entry["state"] == "tripped"]
+            return {
+                "status": "degraded" if degraded else "ok",
+                "degraded_checks": degraded,
+                "checks": checks,
+            }
+
+    def healthy(self) -> bool:
+        return self.health()["status"] == "ok"
+
+    def to_prometheus(self) -> str:
+        """The ``health_*`` families as exposition text."""
+        with self._lock:
+            return self.registry.to_prometheus()

@@ -317,15 +317,16 @@ class MetricsRegistry:
 
     def write(self, path) -> None:
         """Write metrics; ``.json`` suffix selects the JSON document,
-        anything else gets Prometheus text."""
-        from pathlib import Path
+        anything else gets Prometheus text.  A trailing ``.gz`` gzips
+        either format transparently."""
+        from repro.io import effective_suffix, write_artifact_text
 
-        path = Path(path)
-        if path.suffix == ".json":
-            path.write_text(json.dumps(self.to_json(), sort_keys=True,
-                                       separators=(",", ":")) + "\n")
+        if effective_suffix(path) == ".json":
+            write_artifact_text(path, json.dumps(
+                self.to_json(), sort_keys=True,
+                separators=(",", ":")) + "\n")
         else:
-            path.write_text(self.to_prometheus())
+            write_artifact_text(path, self.to_prometheus())
 
 
 def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.obs.report --trace t.json [--metrics m.prom]
+    python -m repro.obs.report --trace t.json --json   # machine-readable
 
 Renders the artifacts the CLI's ``--trace``/``--metrics`` flags
 produce into three terminal tables for CI artifact review:
@@ -11,16 +12,22 @@ produce into three terminal tables for CI artifact review:
 * **drain-cycle histogram** — the controller's batch-size and
   cycle-latency distributions (from the metrics file);
 * **fault timeline** — every ``fault:*`` instant in trial/time order.
+
+``--json`` emits the same content as one JSON document instead, for
+scripted artifact checks.  A malformed or unreadable artifact exits 2
+with a one-line diagnostic on stderr (0 = rendered, 2 = bad input), so
+CI can distinguish "artifact broken" from "report crashed".
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.report import text_table
-from repro.io import load_metrics, load_trace_events
+from repro.io import ReportIOError, load_metrics, load_trace_events
 
 _TOP_SPANS = 15
 _TIMELINE_MAX = 40
@@ -35,8 +42,9 @@ def _format_ns(value_us: float) -> str:
     return f"{ns:.0f} ns"
 
 
-def summarize_spans(events: Sequence[Dict[str, object]]) -> str:
-    """Span names ranked by total simulated time (``X`` events)."""
+def _span_totals(events: Sequence[Dict[str, object]]
+                 ) -> List[Tuple[str, float, int]]:
+    """``(name, total_us, count)`` per span name, busiest first."""
     totals: Dict[str, List[float]] = {}
     for event in events:
         if event.get("ph") != "X":
@@ -45,13 +53,40 @@ def summarize_spans(events: Sequence[Dict[str, object]]) -> str:
         entry = totals.setdefault(name, [0.0, 0])
         entry[0] += float(event.get("dur", 0.0))
         entry[1] += 1
-    if not totals:
+    return [(name, total, int(count)) for name, (total, count)
+            in sorted(totals.items(), key=lambda item: -item[1][0])]
+
+
+def _fault_entries(events: Sequence[Dict[str, object]]
+                   ) -> List[Dict[str, object]]:
+    """Every ``fault:*`` instant as a plain dict, in trial/time order."""
+    faults = [
+        event for event in events
+        if event.get("ph") == "i"
+        and str(event.get("name", "")).startswith("fault:")
+    ]
+    faults.sort(key=lambda event: (event.get("pid", 0),
+                                   float(event.get("ts", 0.0))))
+    return [
+        {
+            "trial": int(event.get("pid", 0)),
+            "sim_ns": int(float(event.get("ts", 0.0)) * 1000),
+            "kind": str(event.get("name", ""))[len("fault:"):],
+            "site": str((event.get("args") or {}).get("site", "?")),
+        }
+        for event in faults
+    ]
+
+
+def summarize_spans(events: Sequence[Dict[str, object]]) -> str:
+    """Span names ranked by total simulated time (``X`` events)."""
+    ranked = _span_totals(events)
+    if not ranked:
         return "no spans recorded"
-    ranked = sorted(totals.items(), key=lambda item: -item[1][0])
     rows = [
-        [name, str(int(count)), _format_ns(total),
+        [name, str(count), _format_ns(total),
          _format_ns(total / count)]
-        for name, (total, count) in ranked[:_TOP_SPANS]
+        for name, total, count in ranked[:_TOP_SPANS]
     ]
     return text_table(["span", "count", "total sim time", "mean"],
                       rows, title="Top spans by simulated time")
@@ -100,21 +135,13 @@ def summarize_drain(metrics: Dict[str, Dict[str, object]]) -> str:
 
 def summarize_faults(events: Sequence[Dict[str, object]]) -> str:
     """Every ``fault:*`` instant, in (trial, simulated time) order."""
-    faults = [
-        event for event in events
-        if event.get("ph") == "i"
-        and str(event.get("name", "")).startswith("fault:")
-    ]
+    faults = _fault_entries(events)
     if not faults:
         return "no faults recorded"
-    faults.sort(key=lambda event: (event.get("pid", 0),
-                                   float(event.get("ts", 0.0))))
     rows = [
-        [str(event.get("pid", 0)),
-         f"{int(float(event.get('ts', 0.0)) * 1000):,}",
-         str(event.get("name", ""))[len("fault:"):],
-         str((event.get("args") or {}).get("site", "?"))]
-        for event in faults[:_TIMELINE_MAX]
+        [str(entry["trial"]), f"{entry['sim_ns']:,}",
+         str(entry["kind"]), str(entry["site"])]
+        for entry in faults[:_TIMELINE_MAX]
     ]
     table = text_table(["trial", "sim ns", "kind", "site"], rows,
                        title=f"Fault timeline ({len(faults)} faults)")
@@ -137,19 +164,57 @@ def render(trace_path: Optional[str], metrics_path: Optional[str]) -> str:
     return "\n\n".join(sections)
 
 
+def render_json(trace_path: Optional[str],
+                metrics_path: Optional[str]) -> Dict[str, object]:
+    """The same content as :func:`render`, as one JSON document."""
+    document: Dict[str, object] = {"format": "repro-obs-report-v1"}
+    if trace_path:
+        events = load_trace_events(trace_path)
+        document["spans"] = [
+            {"name": name, "count": count, "total_us": total,
+             "mean_us": total / count}
+            for name, total, count in _span_totals(events)
+        ]
+        document["faults"] = _fault_entries(events)
+    if metrics_path:
+        families = load_metrics(metrics_path)
+        document["metric_families"] = {
+            name: {"kind": family["kind"],
+                   "samples": dict(family["samples"])}
+            for name, family in sorted(families.items())
+        }
+    return document
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="summarize a recorded trace/metrics pair",
     )
     parser.add_argument("--trace", default=None, metavar="PATH",
-                        help="Chrome-trace or JSONL file from --trace")
+                        help="Chrome-trace or JSONL file from --trace "
+                             "(.gz accepted)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
-                        help="Prometheus text or JSON file from --metrics")
+                        help="Prometheus text or JSON file from --metrics "
+                             "(.gz accepted)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON document "
+                             "instead of the terminal tables")
     args = parser.parse_args(argv)
     if not args.trace and not args.metrics:
         parser.error("need --trace and/or --metrics")
-    print(render(args.trace, args.metrics))
+    try:
+        if args.json:
+            output = json.dumps(render_json(args.trace, args.metrics),
+                                indent=2, sort_keys=True)
+        else:
+            output = render(args.trace, args.metrics)
+    except ReportIOError as error:
+        # One line, exit 2: lets CI tell "artifact broken" apart from
+        # both success (0) and a genuine crash (traceback, 1).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(output)
     return 0
 
 

@@ -1,0 +1,132 @@
+"""Terminal view of a live run: ``python -m repro.obs.top``.
+
+Polls a live telemetry endpoint's ``/runs`` (started by the CLI's
+``--live`` flag) and renders per-trial progress as a refreshing
+terminal table — trial status, simulated time, samples, drops,
+degradation-ladder level, fault count — plus the run header and the
+watchdog verdict from ``/healthz``.
+
+Usage::
+
+    python -m repro.obs.top                        # default port
+    python -m repro.obs.top --url http://127.0.0.1:9137 --interval 0.5
+    python -m repro.obs.top --once                 # one frame, no loop
+
+Pure stdlib (``urllib``); rendering is separated from polling so tests
+drive :func:`render_frame` on canned documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.experiments.report import text_table
+from repro.obs.live.server import DEFAULT_PORT
+
+_STATUS_ORDER = {"running": 0, "quarantined": 1, "done": 2}
+
+
+def fetch_json(url: str, timeout_s: float = 2.0) -> Dict[str, object]:
+    """GET ``url`` and parse the JSON body (errors propagate)."""
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _format_sim(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f} ms"
+    return f"{ns / 1e3:.1f} us"
+
+
+def render_frame(runs: Dict[str, object],
+                 health: Optional[Dict[str, object]] = None) -> str:
+    """One full frame from a ``/runs`` (and optional ``/healthz``) doc."""
+    run = runs.get("run", {})
+    trials: List[Dict[str, object]] = list(runs.get("trials", []))
+    lines = [
+        f"run: {run.get('label') or '(unlabelled)'}  "
+        f"uptime {float(run.get('uptime_s', 0.0)):.0f}s  "
+        f"trials {run.get('trials_seen', 0)} "
+        f"({run.get('running', 0)} running, {run.get('done', 0)} done, "
+        f"{run.get('quarantined', 0)} quarantined)  "
+        f"snapshots {run.get('snapshots', 0)}"
+    ]
+    if health is not None:
+        status = str(health.get("status", "?"))
+        degraded = health.get("degraded_checks") or []
+        verdict = status.upper()
+        if degraded:
+            verdict += " (" + ", ".join(str(c) for c in degraded) + ")"
+        lines.append(f"health: {verdict}")
+    if trials:
+        trials.sort(key=lambda row: (_STATUS_ORDER.get(
+            str(row.get("status")), 3), row.get("trial", 0)))
+        rows = []
+        for row in trials:
+            overhead = row.get("overhead_percent")
+            rows.append([
+                str(row.get("trial", "?")),
+                str(row.get("status", "?")),
+                _format_sim(int(row.get("sim_now_ns", 0))),
+                f"{int(row.get('samples', 0)):,}",
+                f"{int(row.get('drops', 0)):,}",
+                str(row.get("level", 0)),
+                f"{int(row.get('faults', 0)):,}",
+                f"{overhead:.2f}%" if overhead is not None else "-",
+            ])
+        lines.append(text_table(
+            ["trial", "status", "sim time", "samples", "drops", "lvl",
+             "faults", "overhead"],
+            rows))
+    else:
+        lines.append("(no trials published yet)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="live per-trial progress view for --live runs",
+    )
+    parser.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                        help="live endpoint base URL "
+                             "(default: %(default)s)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between polls (default 1.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit")
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+    while True:
+        try:
+            runs = fetch_json(base + "/runs")
+            try:
+                health = fetch_json(base + "/healthz")
+            except urllib.error.HTTPError as error:
+                # /healthz answers 503 while degraded; the body is
+                # still the verdict document.
+                health = json.loads(error.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            print(f"error: cannot reach {base}: {error}", file=sys.stderr)
+            return 1
+        frame = render_frame(runs, health)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, then the frame: a flicker-free refresh on any
+        # ANSI terminal without a curses dependency.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        time.sleep(max(args.interval, 0.1))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -44,6 +44,7 @@ TRACKS = {
     "controller": 4,
     "tool": 5,
     "faults": 6,
+    "live": 7,
 }
 
 _NS_PER_US = 1000.0
@@ -76,17 +77,40 @@ class SpanHandle:
 
 
 class Tracer:
-    """Append-only trace event log for one run."""
+    """Append-only trace event log for one run.
 
-    def __init__(self, wallclock: bool = False) -> None:
+    Two optional sinks widen the plumbing without changing the
+    deterministic export:
+
+    * ``flight`` — a :class:`~repro.obs.live.flight.FlightRecorder`
+      (anything with a ``record(event_tuple)`` method) that receives a
+      copy of every event as it is recorded, keeping a bounded ring of
+      the recent past even when the full trace is enormous;
+    * ``retain=False`` — flight-only mode: events flow to the flight
+      ring but are **not** accumulated in memory, so a run that never
+      writes a trace file pays O(ring) memory instead of O(run).
+      ``dump_events``/exports see an empty log in this mode.
+    """
+
+    def __init__(self, wallclock: bool = False, flight=None,
+                 retain: bool = True) -> None:
         self.wallclock = wallclock
         self._events: List[_Event] = []
+        self._flight = flight
+        self.retain = retain
         # Default process id for recorded events; the runner points this
         # at the trial index via the per-trial child recorder.
         self.pid = 0
 
     def __len__(self) -> int:
         return len(self._events)
+
+    def _record(self, event: _Event) -> None:
+        """The single choke point every recorded event passes through."""
+        if self.retain:
+            self._events.append(event)
+        if self._flight is not None:
+            self._flight.record(event)
 
     # ------------------------------------------------------------------
     # Recording
@@ -103,7 +127,7 @@ class Tracer:
                 args: Optional[Dict[str, object]] = None,
                 category: str = "obs") -> None:
         """Record a point event at simulated time ``ts_ns``."""
-        self._events.append((
+        self._record((
             "i", name, category, ts_ns, None, self.pid,
             TRACKS.get(track, 0), self._wall_args(args),
         ))
@@ -112,7 +136,7 @@ class Tracer:
                  args: Optional[Dict[str, object]] = None,
                  category: str = "obs") -> None:
         """Record a finished span covering ``[start_ns, start_ns+dur_ns]``."""
-        self._events.append((
+        self._record((
             "X", name, category, start_ns, dur_ns, self.pid,
             TRACKS.get(track, 0), self._wall_args(args),
         ))
@@ -129,7 +153,7 @@ class Tracer:
         if handle.closed:
             return
         handle.closed = True
-        self._events.append((
+        self._record((
             "X", handle.name, handle.category, handle.start_ns,
             max(0, end_ns - handle.start_ns), self.pid, handle.tid,
             self._wall_args(handle.args),
@@ -202,9 +226,11 @@ class Tracer:
 
     def write(self, path: PathLike) -> None:
         """Write the trace; ``.jsonl`` suffix selects JSONL, anything
-        else gets the Chrome/Perfetto document."""
-        path = Path(path)
-        if path.suffix == ".jsonl":
-            path.write_text(self.to_jsonl() + "\n")
+        else gets the Chrome/Perfetto document.  A trailing ``.gz``
+        gzips either format transparently."""
+        from repro.io import effective_suffix, write_artifact_text
+
+        if effective_suffix(path) == ".jsonl":
+            write_artifact_text(path, self.to_jsonl() + "\n")
         else:
-            path.write_text(self.to_chrome_json() + "\n")
+            write_artifact_text(path, self.to_chrome_json() + "\n")

@@ -301,8 +301,9 @@ class KLebControllerProgram(Program):
         )
         decision = ctrl.observe(reading)
         if obs is not None:
-            obs.control_observation(now, decision.overhead_percent,
-                                    decision.level)
+            obs.control_observation(
+                now, decision.overhead_percent, decision.level,
+                budget_percent=ctrl.config.overhead_budget_percent)
             if decision.action is not None:
                 obs.control_step(now, decision.action, decision.level,
                                  decision.period_ns)

@@ -1,0 +1,72 @@
+"""``python -m repro.obs.top``: frame rendering on canned documents."""
+
+from repro.obs.top import _format_sim, render_frame
+
+
+def runs_doc(trials):
+    return {
+        "run": {"label": "table2", "uptime_s": 12.3, "trials_seen":
+                len(trials), "running": sum(1 for t in trials
+                                            if t["status"] == "running"),
+                "done": sum(1 for t in trials if t["status"] == "done"),
+                "quarantined": sum(1 for t in trials
+                                   if t["status"] == "quarantined"),
+                "snapshots": 42},
+        "trials": trials,
+    }
+
+
+def row(trial, status, **overrides):
+    entry = {"trial": trial, "status": status, "sim_now_ns": 2_500_000,
+             "samples": 1234, "drops": 0, "level": 0, "faults": 0,
+             "overhead_percent": None}
+    entry.update(overrides)
+    return entry
+
+
+class TestRenderFrame:
+    def test_header_and_table(self):
+        frame = render_frame(runs_doc([row(0, "running"),
+                                       row(1, "done")]))
+        assert "run: table2" in frame
+        assert "trials 2 (1 running, 1 done, 0 quarantined)" in frame
+        assert "snapshots 42" in frame
+        assert "2.50 ms" in frame
+        assert "1,234" in frame
+
+    def test_running_sorts_before_quarantined_before_done(self):
+        frame = render_frame(runs_doc([row(0, "done"),
+                                       row(1, "quarantined"),
+                                       row(2, "running")]))
+        lines = [line for line in frame.splitlines()
+                 if line.lstrip().startswith(("0", "1", "2"))]
+        statuses = [line.split()[1] for line in lines]
+        assert statuses == ["running", "quarantined", "done"]
+
+    def test_health_verdict_renders(self):
+        frame = render_frame(
+            runs_doc([row(0, "running")]),
+            health={"status": "degraded",
+                    "degraded_checks": ["drop-storm"]})
+        assert "health: DEGRADED (drop-storm)" in frame
+
+    def test_ok_health(self):
+        frame = render_frame(runs_doc([]),
+                             health={"status": "ok",
+                                     "degraded_checks": []})
+        assert "health: OK" in frame
+        assert "(no trials published yet)" in frame
+
+    def test_overhead_column(self):
+        frame = render_frame(runs_doc([
+            row(0, "running", overhead_percent=1.234),
+            row(1, "running"),
+        ]))
+        assert "1.23%" in frame
+
+
+class TestFormatSim:
+    def test_units(self):
+        assert _format_sim(1_500_000_000) == "1.500 s"
+        assert _format_sim(2_500_000) == "2.50 ms"
+        assert _format_sim(900) == "0.9 us"

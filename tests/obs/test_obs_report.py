@@ -6,6 +6,8 @@ shrink/restore, retries, quarantines, ad-hoc spans, and every branch
 of ``python -m repro.obs.report``.
 """
 
+import json
+
 import pytest
 
 from repro.obs import hooks, report
@@ -165,3 +167,69 @@ class TestMain:
             report.main([])
         assert "need --trace and/or --metrics" in \
             capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_document_shape(self, tmp_path, capsys):
+        recorder = _faulted_recorder()
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.prom"
+        recorder.write_trace(trace)
+        recorder.write_metrics(metrics)
+        assert report.main(["--trace", str(trace), "--metrics",
+                            str(metrics), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-obs-report-v1"
+        assert any(span["name"] == "drain-cycle"
+                   for span in document["spans"])
+        assert len(document["faults"]) == 3
+        assert {"trial", "sim_ns", "kind", "site"} \
+            <= set(document["faults"][0])
+        assert "kleb_drain_batch_size" in document["metric_families"]
+
+    def test_json_matches_text_content(self, tmp_path, capsys):
+        recorder = _faulted_recorder()
+        trace = tmp_path / "t.json"
+        recorder.write_trace(trace)
+        report.main(["--trace", str(trace), "--json"])
+        document = json.loads(capsys.readouterr().out)
+        spans = {span["name"]: span["count"]
+                 for span in document["spans"]}
+        text = report.render(str(trace), None)
+        for name, count in spans.items():
+            assert name in text and str(count) in text
+
+    def test_gzipped_artifacts_render(self, tmp_path, capsys):
+        recorder = _faulted_recorder()
+        trace = tmp_path / "t.json.gz"
+        recorder.write_trace(trace)
+        assert report.main(["--trace", str(trace), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["spans"]
+
+
+class TestExitCodes:
+    def test_malformed_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert report.main(["--trace", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1  # one-line diagnostic
+
+    def test_malformed_metrics_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"metrics\"}")
+        assert report.main(["--metrics", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert report.main(["--trace",
+                            str(tmp_path / "nowhere.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_mode_also_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2")
+        assert report.main(["--trace", str(bad), "--json"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no partial document on stdout

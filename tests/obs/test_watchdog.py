@@ -1,0 +1,206 @@
+"""Watchdog checks: trip/clear semantics, hysteresis, edge cases."""
+
+import pytest
+
+from repro.obs.live import FlightRecorder, Watchdog, WatchdogConfig
+from repro.obs.live.bus import Snapshot
+
+CONFIG = WatchdogConfig(stall_intervals=3, storm_drops=10,
+                        storm_intervals=2, calm_intervals=2,
+                        breach_intervals=2, quarantine_spike=2)
+
+
+def snap(trial=0, seq=1, status="running", sim_now_ns=0, samples=0,
+         drops=0, overhead=None, budget=None):
+    return Snapshot(trial=trial, seq=seq, status=status,
+                    sim_now_ns=sim_now_ns, wall_s=0.0, samples=samples,
+                    drops=drops, timer_fires=samples, faults=0, level=0,
+                    overhead_percent=overhead, budget_percent=budget,
+                    metrics={})
+
+
+@pytest.fixture
+def watchdog():
+    return Watchdog(CONFIG)
+
+
+def trips(watchdog, check):
+    return watchdog.health()["checks"][check]["trips"]
+
+
+def tripped(watchdog, check):
+    return watchdog.health()["checks"][check]["state"] == "tripped"
+
+
+class TestStalledTrial:
+    def test_stall_at_trial_zero(self, watchdog):
+        """The very first trial stalling from its first snapshot trips
+        (the first publication only establishes the baseline)."""
+        for seq in range(1, 6):
+            watchdog.observe(snap(seq=seq, sim_now_ns=500, samples=2))
+        assert tripped(watchdog, "stalled-trial")
+        assert "trial 0" in watchdog.health()["checks"][
+            "stalled-trial"]["detail"]
+
+    def test_progress_resets_the_streak(self, watchdog):
+        """Two stale publications, progress, two more: each stale run
+        stays under ``stall_intervals`` so the check never trips."""
+        for seq in range(1, 4):
+            watchdog.observe(snap(seq=seq, sim_now_ns=100, samples=1))
+        watchdog.observe(snap(seq=4, sim_now_ns=200, samples=2))
+        for seq in range(5, 7):
+            watchdog.observe(snap(seq=seq, sim_now_ns=200, samples=2))
+        assert not tripped(watchdog, "stalled-trial")
+
+    def test_stall_clears_on_progress(self, watchdog):
+        for seq in range(1, 6):
+            watchdog.observe(snap(seq=seq, sim_now_ns=500, samples=2))
+        assert tripped(watchdog, "stalled-trial")
+        watchdog.observe(snap(seq=6, sim_now_ns=600, samples=3))
+        assert not tripped(watchdog, "stalled-trial")
+        assert trips(watchdog, "stalled-trial") == 1
+
+    def test_terminal_snapshot_resolves_the_stall(self, watchdog):
+        for seq in range(1, 6):
+            watchdog.observe(snap(seq=seq, sim_now_ns=500, samples=2))
+        assert tripped(watchdog, "stalled-trial")
+        watchdog.observe(snap(seq=6, status="done", sim_now_ns=500,
+                              samples=2))
+        assert not tripped(watchdog, "stalled-trial")
+
+    def test_done_trials_never_stall(self, watchdog):
+        for seq in range(1, 8):
+            watchdog.observe(snap(seq=seq, status="done",
+                                  sim_now_ns=500, samples=2))
+        assert not tripped(watchdog, "stalled-trial")
+
+
+class TestDropStorm:
+    def test_sustained_storm_trips_once(self, watchdog):
+        drops = 0
+        for seq in range(1, 6):
+            drops += 50
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, drops=drops))
+        assert tripped(watchdog, "drop-storm")
+        assert trips(watchdog, "drop-storm") == 1
+
+    def test_flapping_storm_is_one_episode(self, watchdog):
+        """Storm / one-quiet-gap / storm inside the calm window must
+        not re-trip: hysteresis holds the episode open."""
+        drops = 0
+        sequence = [50, 50, 0, 50, 50, 0, 50]  # flaps under calm=2
+        for seq, delta in enumerate(sequence, start=1):
+            drops += delta
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, drops=drops))
+        assert tripped(watchdog, "drop-storm")
+        assert trips(watchdog, "drop-storm") == 1
+
+    def test_storm_clears_after_calm_window(self, watchdog):
+        drops = 0
+        for seq in range(1, 4):
+            drops += 50
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, drops=drops))
+        assert tripped(watchdog, "drop-storm")
+        for seq in range(4, 7):
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, drops=drops))
+        assert not tripped(watchdog, "drop-storm")
+        # A fresh sustained storm after a real clear is a new episode.
+        for seq in range(7, 10):
+            drops += 50
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, drops=drops))
+        assert trips(watchdog, "drop-storm") == 2
+
+    def test_steady_trickle_never_trips(self, watchdog):
+        drops = 0
+        for seq in range(1, 10):
+            drops += 5  # under storm_drops per interval
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, drops=drops))
+        assert not tripped(watchdog, "drop-storm")
+
+
+class TestBudgetBreach:
+    def test_sustained_breach_trips(self, watchdog):
+        for seq in range(1, 4):
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, overhead=5.0, budget=2.0))
+        assert tripped(watchdog, "budget-breach")
+
+    def test_breach_on_final_window_still_counts(self, watchdog):
+        """A terminal snapshot carrying the breach trips even though
+        the trial is already done."""
+        watchdog.observe(snap(seq=1, sim_now_ns=100, samples=1,
+                              overhead=5.0, budget=2.0))
+        watchdog.observe(snap(seq=2, status="done", sim_now_ns=200,
+                              samples=2, overhead=5.0, budget=2.0))
+        assert tripped(watchdog, "budget-breach")
+
+    def test_recovery_clears(self, watchdog):
+        for seq in range(1, 4):
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq, overhead=5.0, budget=2.0))
+        watchdog.observe(snap(seq=4, sim_now_ns=400, samples=4,
+                              overhead=1.0, budget=2.0))
+        assert not tripped(watchdog, "budget-breach")
+
+    def test_non_adaptive_trials_never_breach(self, watchdog):
+        for seq in range(1, 6):
+            watchdog.observe(snap(seq=seq, sim_now_ns=seq * 100,
+                                  samples=seq))
+        assert not tripped(watchdog, "budget-breach")
+
+
+class TestQuarantineSpike:
+    def test_single_quarantine_is_not_a_spike(self, watchdog):
+        watchdog.observe(snap(trial=1, status="quarantined"))
+        assert not tripped(watchdog, "quarantine-spike")
+
+    def test_threshold_trips_once(self, watchdog):
+        watchdog.observe(snap(trial=1, status="quarantined"))
+        watchdog.observe(snap(trial=2, status="quarantined"))
+        watchdog.observe(snap(trial=3, status="quarantined"))
+        assert tripped(watchdog, "quarantine-spike")
+        assert trips(watchdog, "quarantine-spike") == 1
+
+    def test_requarantine_of_same_trial_does_not_count_twice(self,
+                                                             watchdog):
+        watchdog.observe(snap(trial=1, seq=1, status="quarantined"))
+        watchdog.observe(snap(trial=1, seq=2, status="quarantined"))
+        assert not tripped(watchdog, "quarantine-spike")
+
+
+class TestSurfaces:
+    def test_trips_land_in_the_flight_ring(self):
+        flight = FlightRecorder()
+        fired = []
+        watchdog = Watchdog(CONFIG, flight=flight,
+                            on_trip=lambda check, detail:
+                            fired.append(check))
+        for trial in (1, 2):
+            watchdog.observe(snap(trial=trial, status="quarantined"))
+        assert fired == ["quarantine-spike"]
+        events = flight.dump("test")["tracks"]["live"]
+        assert [event["name"] for event in events] \
+            == ["health:quarantine-spike"]
+
+    def test_prometheus_families_preseeded(self):
+        text = Watchdog(CONFIG).to_prometheus()
+        assert text.count('health_check_state{check="') == 4
+        assert text.count('health_watchdog_trips_total{check="') == 4
+
+    def test_healthy_verdict(self, watchdog):
+        assert watchdog.healthy()
+        verdict = watchdog.health()
+        assert verdict["status"] == "ok"
+        assert verdict["degraded_checks"] == []
+        watchdog.observe(snap(trial=1, status="quarantined"))
+        watchdog.observe(snap(trial=2, status="quarantined"))
+        verdict = watchdog.health()
+        assert verdict["status"] == "degraded"
+        assert verdict["degraded_checks"] == ["quarantine-spike"]
+        assert not watchdog.healthy()

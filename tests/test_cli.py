@@ -162,3 +162,103 @@ class TestRun:
         out = capsys.readouterr().out
         assert "adaptive controller:" in out
         assert "adaptive dominates" in out
+
+
+class TestLivePlane:
+    def test_live_serves_and_report_is_clean(self, capsys, monkeypatch,
+                                             tmp_path):
+        """--live 0 binds an ephemeral port, announces the URL, serves
+        all three endpoints during the run, and the report output
+        (minus the announcement) matches a live-off run."""
+        import json
+        import urllib.request
+
+        from repro.obs.live import server as live_server
+
+        scraped = {}
+        original_start = live_server.LiveServer.start
+
+        def start_and_scrape(self):
+            port = original_start(self)
+            for endpoint in ("/metrics", "/healthz", "/runs"):
+                with urllib.request.urlopen(self.url + endpoint,
+                                            timeout=5.0) as response:
+                    scraped[endpoint] = response.read().decode("utf-8")
+            return port
+
+        monkeypatch.setattr(live_server.LiveServer, "start",
+                            start_and_scrape)
+        assert main(["run", "table1", "--runs", "2", "--live", "0"]) == 0
+        live_out = capsys.readouterr().out
+        assert live_out.startswith("live telemetry at http://127.0.0.1:")
+        assert "# TYPE live_snapshots_total counter" in scraped["/metrics"]
+        assert "# TYPE hrtimer_fires_total counter" in scraped["/metrics"]
+        assert json.loads(scraped["/healthz"])["status"] == "ok"
+        assert "run" in json.loads(scraped["/runs"])
+
+        assert main(["run", "table1", "--runs", "2"]) == 0
+        plain_out = capsys.readouterr().out
+        assert live_out.split("\n", 1)[1] == plain_out
+
+    def test_flight_dump_written_on_run_end(self, capsys, tmp_path):
+        import json
+
+        flight_path = tmp_path / "run.flight.json"
+        assert main(["run", "table1", "--runs", "2", "--flight",
+                     str(flight_path)]) == 0
+        assert f"flight ring written to {flight_path}" \
+            in capsys.readouterr().out
+        document = json.loads(flight_path.read_text())
+        assert document["format"] == "repro-flight-v1"
+        assert document["reason"] == "run-complete"
+        assert document["events_recorded"] > 0
+
+    def test_flight_dump_on_quarantine(self, capsys, tmp_path):
+        """A quarantined trial triggers a mid-run flight dump (later
+        overwritten by the run-end dump only if the run finishes; the
+        quarantine reason must have been written at some point)."""
+        import json
+
+        from repro.obs.live import flight as flight_module
+
+        reasons = []
+        original_write = flight_module.FlightRecorder.write
+
+        def spy_write(self, path, reason, extra=None):
+            reasons.append(reason)
+            return original_write(self, path, reason, extra)
+
+        flight_path = tmp_path / "q.flight.json"
+        try:
+            flight_module.FlightRecorder.write = spy_write
+            assert main(["run", "table1", "--runs", "3", "--jobs", "1",
+                         "--faults", "seed=11,persistent=0.9",
+                         "--flight", str(flight_path)]) == 0
+        finally:
+            flight_module.FlightRecorder.write = original_write
+        assert any(reason.startswith("quarantine:trial-")
+                   for reason in reasons), reasons
+        assert reasons[-1] == "run-complete"
+        assert json.loads(flight_path.read_text())["reason"] \
+            == "run-complete"
+
+    def test_trace_and_metrics_still_work_with_live(self, capsys,
+                                                    tmp_path):
+        trace = tmp_path / "t.json.gz"
+        metrics = tmp_path / "m.prom.gz"
+        assert main(["run", "table1", "--runs", "2", "--live", "0",
+                     "--trace", str(trace), "--metrics",
+                     str(metrics)]) == 0
+        from repro.io import load_metrics, load_trace_events
+
+        assert load_trace_events(trace)
+        assert "trials_total" in load_metrics(metrics)
+
+    def test_adaptive_monitor_identical_with_live(self, capsys):
+        args = ["monitor", "--workload", "matmul", "--tool", "k-leb",
+                "--period-ms", "10", "--adapt", "--seed", "5"]
+        assert main(args + ["--live", "0"]) == 0
+        live_out = capsys.readouterr().out
+        assert main(args) == 0
+        plain_out = capsys.readouterr().out
+        assert live_out.split("\n", 1)[1] == plain_out

@@ -117,3 +117,78 @@ class TestCsvSamples:
         path.write_text("timestamp_ns,LOADS\nabc,def\n")
         with pytest.raises(ReportIOError):
             load_samples_csv(path)
+
+
+class TestGzipArtifacts:
+    """Transparent gzip for trace/metrics artifacts (``*.gz`` paths)."""
+
+    @pytest.fixture
+    def tracer(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        tracer.instant("tick", "hrtimer", 1_000)
+        tracer.complete("drain-cycle", "controller", 2_000, 500)
+        return tracer
+
+    @pytest.fixture
+    def registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("widgets_total", "help").default.inc(7)
+        return registry
+
+    def test_effective_suffix_sees_through_gz(self):
+        from repro.io import effective_suffix
+
+        assert effective_suffix("t.jsonl.gz") == ".jsonl"
+        assert effective_suffix("t.json.gz") == ".json"
+        assert effective_suffix("m.prom.gz") == ".prom"
+        assert effective_suffix("m.prom") == ".prom"
+        assert effective_suffix("bare.gz") == ""
+
+    @pytest.mark.parametrize("name", ["t.json.gz", "t.jsonl.gz"])
+    def test_trace_round_trip(self, tracer, tmp_path, name):
+        from repro.io import load_trace_events
+
+        plain = tmp_path / name[:-3]
+        gz = tmp_path / name
+        tracer.write(plain)
+        tracer.write(gz)
+        assert gz.read_bytes()[:2] == b"\x1f\x8b"  # really gzipped
+        plain_events = load_trace_events(plain)
+        assert load_trace_events(gz) == plain_events
+        assert any(event.get("name") == "drain-cycle"
+                   for event in plain_events)
+
+    @pytest.mark.parametrize("name", ["m.prom.gz", "m.json.gz"])
+    def test_metrics_round_trip(self, registry, tmp_path, name):
+        from repro.io import load_metrics
+
+        plain = tmp_path / name[:-3]
+        gz = tmp_path / name
+        registry.write(plain)
+        registry.write(gz)
+        assert gz.read_bytes()[:2] == b"\x1f\x8b"
+        assert load_metrics(gz) == load_metrics(plain)
+        assert load_metrics(gz)["widgets_total"]["samples"][""] == 7.0
+
+    def test_gzip_bytes_are_deterministic(self, registry, tmp_path):
+        """mtime and file name are pinned, so compressed artifacts can
+        be digest-compared like plain ones."""
+        first = tmp_path / "a.prom.gz"
+        second = tmp_path / "b.prom.gz"
+        registry.write(first)
+        registry.write(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_corrupt_gzip_raises_report_io_error(self, tmp_path):
+        from repro.io import load_metrics, load_trace_events
+
+        bad = tmp_path / "bad.json.gz"
+        bad.write_bytes(b"\x1f\x8bnot really gzip")
+        with pytest.raises(ReportIOError):
+            load_trace_events(bad)
+        with pytest.raises(ReportIOError):
+            load_metrics(bad)
