@@ -32,8 +32,9 @@ DEFAULT_OUTPUT = Path(__file__).parent.parent.parent / "BENCH_hotpath.json"
 # Benchmarks whose calibrated ratio the regression gate inspects.
 # Calibration itself is the yardstick and end-to-end is covered by the
 # committed speedup numbers; the micros are the sensitive detectors.
-CHECKED = ("pmu_accumulate", "event_queue", "hrtimer_rearm",
-           "trace_replay", "end_to_end_table2_fig7")
+CHECKED = ("pmu_accumulate", "pmu_epoch_accumulate", "event_queue",
+           "hrtimer_rearm", "trace_replay", "trace_replay_batch",
+           "ringbuffer_drain_columnar", "end_to_end_table2_fig7")
 
 # Hard caps on the same-process on/off ratios: full tracing+metrics
 # may slow the monitored end-to-end path by at most 15 %, and an armed
@@ -84,6 +85,9 @@ def _check(current: Dict[str, Dict[str, float]], committed_path: Path,
         fresh = current.get(name, {}).get("calibrated")
         base = committed.get(name, {}).get("calibrated")
         if fresh is None or base is None or base <= 0:
+            # A micro added since the committed file was refreshed has
+            # no reference yet; say so instead of silently passing it.
+            print(f"  {name:28s} skipped (no committed reference)")
             continue
         regression = fresh / base - 1.0
         status = "REGRESSION" if regression > tolerance else "ok"
@@ -91,6 +95,18 @@ def _check(current: Dict[str, Dict[str, float]], committed_path: Path,
               f"({regression:+7.1%}) {status}")
         if regression > tolerance:
             failures.append(name)
+            # Raw numbers for the failing micro: the calibrated ratio
+            # says *that* it regressed; ns/op against the committed
+            # run (and both runs' calibration yardsticks) says whether
+            # the simulator or the host yardstick moved.
+            fresh_ns = current.get(name, {}).get("ns_per_op", 0.0)
+            base_ns = committed.get(name, {}).get("ns_per_op", 0.0)
+            fresh_cal = current.get("calibration", {}).get("ns_per_op", 0.0)
+            base_cal = committed.get("calibration", {}).get("ns_per_op", 0.0)
+            print(f"      committed {base_ns:14.1f} ns/op "
+                  f"(calibration {base_cal:8.2f} ns/op)")
+            print(f"      fresh     {fresh_ns:14.1f} ns/op "
+                  f"(calibration {fresh_cal:8.2f} ns/op)")
     for name, cap in OVERHEAD_CAPS.items():
         overhead = current.get(name, {}).get("overhead_ratio")
         if overhead is None:

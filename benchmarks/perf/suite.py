@@ -106,6 +106,39 @@ def bench_pmu_accumulate(iters: int) -> Dict[str, float]:
     return result
 
 
+def bench_pmu_epoch_accumulate(iters: int) -> Dict[str, float]:
+    """``Pmu.accumulate_epoch`` — the batch replay path's fused delivery.
+
+    Same programming as ``bench_pmu_accumulate``, but each slice lands
+    as one name-tuple/value-row call (the shape ``_run_trace_batch``
+    produces), so the compiled apply-list fast path is what's measured.
+    """
+    pmu = Pmu()
+    pmu.enable_fixed(user=True, kernel=False)
+    for index, name in enumerate(("LOADS", "STORES", "BRANCHES",
+                                  "LLC_MISSES")):
+        pmu.program_counter(index, name, user=True, kernel=False)
+    pmu.global_enable()
+    names = ("INST_RETIRED", "CORE_CYCLES", "REF_CYCLES", "LOADS",
+             "STORES", "BRANCHES", "LLC_MISSES", "FP_OPS")
+    user_values = (5000.0, 6000.0, 6000.0, 1700.0, 900.0, 1100.0,
+                   12.5, 300.0)
+    kernel_values = (800.0, 1000.0, 1000.0, 260.0, 140.0, 90.0, 0.0, 0.0)
+
+    def loop() -> int:
+        accumulate_epoch = pmu.accumulate_epoch
+        for index in range(iters):
+            if index & 3:
+                accumulate_epoch(names, user_values, "user")
+            else:
+                accumulate_epoch(names, kernel_values, "kernel")
+        return iters
+
+    result = _timed(loop)
+    result["checksum"] = float(pmu.rdpmc(0))
+    return result
+
+
 def bench_event_queue(fires: int, streams: int = 16) -> Dict[str, float]:
     """Periodic schedule/dispatch/re-arm with cancellation tombstones.
 
@@ -216,6 +249,87 @@ def bench_trace_replay(rounds: int) -> Dict[str, float]:
 
     result = _timed(loop)
     result["checksum"] = float(machine.cache.stats.accesses)
+    return result
+
+
+def _attack_trace_program(rounds: int) -> Program:
+    """A Flush+Reload trace tiled from one shared round tuple.
+
+    The shape the Meltdown attack produces — a long flush run, one
+    transient access, then a reload pass whose misses are statically
+    guaranteed by the preceding flushes — which is exactly what the
+    batch planner collapses into flush/guaranteed-miss segments.
+    """
+    page = 4096
+    probe_base = 0x4000_0000
+    round_ops: List[MemOp] = []
+    for index in range(256):
+        round_ops.append(MemOp(probe_base + index * page, OpKind.FLUSH))
+    round_ops.append(MemOp(probe_base + 77 * page, OpKind.LOAD))
+    for index in range(256):
+        round_ops.append(MemOp(probe_base + index * page, OpKind.LOAD))
+    ops = tuple(round_ops) * rounds
+    block = TraceBlock(ops=ops, instructions_per_op=4.0, event_scale=4.0,
+                       label="bench-trace-batch")
+    return ListProgram("bench-trace-batch", [block])
+
+
+def bench_trace_replay_batch(rounds: int) -> Dict[str, float]:
+    """Core.execute over the attack-shaped trace (batch replay path).
+
+    The op tuple is reused across iterations, so the planner compiles
+    once and every replay runs the segment-collapsed fast path — the
+    regime the end-to-end Fig. 7 run lives in.
+    """
+    from repro.workloads.base import BlockCursor
+
+    machine = Machine(i7_920())
+    program = _attack_trace_program(rounds)
+    total_ops = rounds * (256 + 1 + 256)
+
+    def loop() -> int:
+        cursor = BlockCursor(program)
+        budget = us(100)
+        while not cursor.finished:
+            machine.core.execute(cursor, budget)
+        return total_ops
+
+    loop()  # compile the trace plan off the clock (once per process)
+    result = _timed(loop)
+    result["checksum"] = float(machine.cache.stats.accesses)
+    return result
+
+
+def bench_ringbuffer_drain_columnar(rows: int) -> Dict[str, float]:
+    """ColumnarRing push_row/drain round-trips (the sample hot path).
+
+    Ten event columns — the non-multiplexed K-LEB row width — pushed
+    one row per "fire" and drained in half-capacity batches, matching
+    the module/controller cadence.
+    """
+    from repro.kernel.ringbuffer import ColumnarRing
+
+    names = ("INST_RETIRED", "CORE_CYCLES", "REF_CYCLES", "LOADS",
+             "STORES", "CACHE_FLUSHES", "L1D_MISSES", "L2_MISSES",
+             "LLC_REFERENCES", "LLC_MISSES")
+    capacity = 1024
+    ring = ColumnarRing(capacity, names)
+    row = list(range(10, 110, 10))
+    drained = 0
+
+    def loop() -> int:
+        nonlocal drained
+        push_row = ring.push_row
+        drain = ring.drain
+        for index in range(rows):
+            push_row(index, row)
+            if index % (capacity // 2) == capacity // 2 - 1:
+                drained += len(drain())
+        drained += len(drain())
+        return rows
+
+    result = _timed(loop)
+    result["checksum"] = float(drained)
     return result
 
 
@@ -438,15 +552,21 @@ def bench_live_overhead(quick: bool, repeats: int = 3) -> Dict[str, float]:
 
 _QUICK_SCALE = {
     "pmu_accumulate": 20_000,
+    "pmu_epoch_accumulate": 20_000,
     "event_queue": 40_000,
     "hrtimer_rearm": 4_000,
     "trace_replay": 60,
+    "trace_replay_batch": 60,
+    "ringbuffer_drain_columnar": 100_000,
 }
 _FULL_SCALE = {
     "pmu_accumulate": 100_000,
+    "pmu_epoch_accumulate": 100_000,
     "event_queue": 200_000,
     "hrtimer_rearm": 20_000,
     "trace_replay": 300,
+    "trace_replay_batch": 300,
+    "ringbuffer_drain_columnar": 500_000,
 }
 
 
@@ -477,12 +597,21 @@ def run_suite(quick: bool = False,
     results["calibration"] = calibration
     results["pmu_accumulate"] = _best_of(
         lambda: bench_pmu_accumulate(scale["pmu_accumulate"]), repeats)
+    results["pmu_epoch_accumulate"] = _best_of(
+        lambda: bench_pmu_epoch_accumulate(scale["pmu_epoch_accumulate"]),
+        repeats)
     results["event_queue"] = _best_of(
         lambda: bench_event_queue(scale["event_queue"]), repeats)
     results["hrtimer_rearm"] = _best_of(
         lambda: bench_hrtimer_rearm(scale["hrtimer_rearm"]), repeats)
     results["trace_replay"] = _best_of(
         lambda: bench_trace_replay(scale["trace_replay"]), repeats)
+    results["trace_replay_batch"] = _best_of(
+        lambda: bench_trace_replay_batch(scale["trace_replay_batch"]),
+        repeats)
+    results["ringbuffer_drain_columnar"] = _best_of(
+        lambda: bench_ringbuffer_drain_columnar(
+            scale["ringbuffer_drain_columnar"]), repeats)
     results["end_to_end_table2_fig7"] = _best_of(
         lambda: bench_end_to_end(quick), repeats)
     results["obs_overhead"] = bench_obs_overhead(quick, repeats)

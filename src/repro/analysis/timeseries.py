@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ExperimentError
-from repro.tools.base import Sample
+from repro.tools.base import Sample, SampleColumns
 
 
 @dataclass
@@ -41,6 +41,18 @@ def samples_to_series(samples: Sequence[Sample]) -> EventSeries:
     """Stack samples into aligned arrays (cumulative values)."""
     if not samples:
         return EventSeries(np.array([], dtype=np.int64), {})
+    if isinstance(samples, SampleColumns):
+        # Columnar series: each typed column converts in one bulk
+        # buffer read — same sorted-name layout and values as stacking
+        # the materialized samples, with no per-sample dict ever built.
+        timestamps = np.frombuffer(samples.timestamps,
+                                   dtype=np.int64).copy()
+        values = {
+            name: np.frombuffer(samples.column(name),
+                                dtype=np.int64).astype(np.float64)
+            for name in sorted(samples.names)
+        }
+        return EventSeries(timestamps, values)
     names = sorted(samples[0].values)
     timestamps = np.array([sample.timestamp for sample in samples],
                           dtype=np.int64)

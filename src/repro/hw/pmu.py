@@ -56,13 +56,19 @@ _FIXED_MSRS = (MSR.IA32_FIXED_CTR0, MSR.IA32_FIXED_CTR1, MSR.IA32_FIXED_CTR2)
 
 _PLAN_CACHE_LIMIT = 128
 
-# (plan_user, plan_kernel, counter_names, pmi_counters, counting)
+# (plan_user, plan_kernel, counter_names, pmi_counters, counting,
+#  epoch_user, epoch_kernel).  The epoch tables memoize, per event-name
+# tuple, the flat apply list ``accumulate_epoch`` derives from the
+# name->counter plan; they ride in the cache entry so a reinstalled
+# register signature brings its compiled epochs back with it.
 _CompiledPlan = Tuple[
     Dict[str, List[Tuple[bool, int]]],
     Dict[str, List[Tuple[bool, int]]],
     Tuple[Optional[str], ...],
     frozenset,
     bool,
+    Dict[Tuple[str, ...], List[Tuple[int, bool, int]]],
+    Dict[Tuple[str, ...], List[Tuple[int, bool, int]]],
 ]
 
 
@@ -96,12 +102,26 @@ class Pmu:
         self._counter_names: Tuple[Optional[str], ...] = (None,) * NUM_PROGRAMMABLE
         self._pmi_counters: frozenset = frozenset()
         self._counting = False
+        # Epoch apply lists for the active plan, keyed by event-name
+        # tuple: [(value index, is_fixed, counter index)].
+        self._epoch_user: Dict[Tuple[str, ...],
+                               List[Tuple[int, bool, int]]] = {}
+        self._epoch_kernel: Dict[Tuple[str, ...],
+                                 List[Tuple[int, bool, int]]] = {}
         # Plans are a pure function of the six control registers, so a
         # version bump with an already-seen register signature (global
         # enable/disable toggles per context switch, multiplex rotation
         # through a small set of groups) reinstalls the compiled plan
         # instead of re-deriving it.  Bounded FIFO.
         self._plan_cache: Dict[Tuple[int, ...], _CompiledPlan] = {}
+        # Row-read plans for ``counter_row``, keyed on the programmable
+        # counter-name layout: (ordered unique names, per-name counter
+        # source).  A pure function of _counter_names, so one entry per
+        # distinct programmed layout.
+        self._row_plans: Dict[
+            Tuple[Optional[str], ...],
+            Tuple[Tuple[str, ...], List[Tuple[bool, int]]],
+        ] = {}
 
     # ------------------------------------------------------------------
     # Register interface (what drivers use)
@@ -266,7 +286,8 @@ class Pmu:
         cached = self._plan_cache.get(signature)
         if cached is not None:
             (self._plan_user, self._plan_kernel, self._counter_names,
-             self._pmi_counters, self._counting) = cached
+             self._pmi_counters, self._counting,
+             self._epoch_user, self._epoch_kernel) = cached
             self._plan_version = version
             return
         plan_user: Dict[str, List[Tuple[bool, int]]] = {}
@@ -307,12 +328,15 @@ class Pmu:
         self._counter_names = tuple(names)
         self._pmi_counters = frozenset(pmi)
         self._counting = global_ctrl != 0
+        self._epoch_user = {}
+        self._epoch_kernel = {}
         self._plan_version = version
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.pop(next(iter(self._plan_cache)))
         self._plan_cache[signature] = (plan_user, plan_kernel,
                                        self._counter_names,
-                                       self._pmi_counters, self._counting)
+                                       self._pmi_counters, self._counting,
+                                       self._epoch_user, self._epoch_kernel)
 
     def accumulate(self, counts: Mapping[str, float], privilege: str) -> None:
         """Add event occurrences observed during an execution slice.
@@ -363,6 +387,69 @@ class Pmu:
             pending, self._pending_overflow = self._pending_overflow, []
             # PMI delivery happens at slice granularity — the analogue of
             # real PMU interrupt skid.
+            self._overflow_handler(pending)
+
+    def accumulate_epoch(self, names: Tuple[str, ...], values,
+                         privilege: str) -> None:
+        """Fused accumulation of a whole execution epoch.
+
+        The batch replay path delivers every event of a slice at once:
+        ``names`` is a (stable, hashable) event-name tuple and
+        ``values`` the aligned occurrence counts.  The name tuple is
+        compiled once per control-register signature into a flat apply
+        list ``[(value index, is_fixed, counter index)]`` — cached on
+        the plan-cache entry, so multiplex rotation and enable toggles
+        reinstall it — and the hot path is a single list walk with
+        float adds.  Semantically identical to :meth:`accumulate` with
+        ``dict(zip(names, values))``: zero and negative amounts are
+        skipped the same way, each counter is programmed with exactly
+        one event so it still receives at most one add per call, and
+        the overflow sweep and PMI delivery share the same tail.
+        """
+        if privilege == "user":
+            plan = self._plan_user
+            epochs = self._epoch_user
+        elif privilege == "kernel":
+            plan = self._plan_kernel
+            epochs = self._epoch_kernel
+        else:
+            raise PMUError(f"invalid privilege {privilege!r}")
+        if self._plan_version != self.msrs.version:
+            self._compile_plan()
+            if privilege == "user":
+                plan, epochs = self._plan_user, self._epoch_user
+            else:
+                plan, epochs = self._plan_kernel, self._epoch_kernel
+        if not self._counting:
+            return
+        apply_list = epochs.get(names)
+        if apply_list is None:
+            apply_list = [
+                (value_index, is_fixed, index)
+                for value_index, name in enumerate(names)
+                for is_fixed, index in plan.get(name, ())
+            ]
+            epochs[names] = apply_list
+
+        fixed = self._fixed
+        pmc = self._pmc
+        wrapped = False
+        for value_index, is_fixed, index in apply_list:
+            amount = values[value_index]
+            if amount <= 0.0:
+                continue
+            if is_fixed:
+                value = fixed[index] + amount
+                fixed[index] = value
+            else:
+                value = pmc[index] + amount
+                pmc[index] = value
+            if value >= _COUNTER_WRAP:
+                wrapped = True
+        if wrapped:
+            self._sweep_overflow()
+        if self._pending_overflow and self._overflow_handler is not None:
+            pending, self._pending_overflow = self._pending_overflow, []
             self._overflow_handler(pending)
 
     def _sweep_overflow(self) -> None:
@@ -418,3 +505,46 @@ class Pmu:
             programmable=tuple(int(value) for value in self._pmc),
             by_event=by_event,
         )
+
+    def counter_row(self) -> Tuple[Tuple[str, ...], List[int]]:
+        """Read every counter as a fixed-order row (columnar hot path).
+
+        Returns ``(names, values)`` where ``names`` matches the key
+        order of :meth:`snapshot`'s ``by_event`` dict for the current
+        programmed layout and ``values`` the floored integer counter
+        values — including dict semantics for a degenerate layout that
+        programs one event on two counters (first occurrence fixes the
+        position, the last counter supplies the value).  The name tuple
+        is stable across calls while programming is unchanged, so
+        callers can key a columnar ring schema on it.
+        """
+        if self._plan_version != self.msrs.version:
+            self._compile_plan()
+        row_plan = self._row_plans.get(self._counter_names)
+        if row_plan is None:
+            positions: Dict[str, int] = {}
+            names: List[str] = []
+            sources: List[Tuple[bool, int]] = []
+            for index, event_name in enumerate(ev.FIXED_EVENTS):
+                positions[event_name] = len(names)
+                names.append(event_name)
+                sources.append((True, index))
+            for index, name in enumerate(self._counter_names):
+                if name is None:
+                    continue
+                at = positions.get(name)
+                if at is None:
+                    positions[name] = len(names)
+                    names.append(name)
+                    sources.append((False, index))
+                else:
+                    sources[at] = (False, index)
+            row_plan = (tuple(names), sources)
+            self._row_plans[self._counter_names] = row_plan
+        row_names, row_sources = row_plan
+        fixed = self._fixed
+        pmc = self._pmc
+        return row_names, [
+            int(fixed[index]) if is_fixed else int(pmc[index])
+            for is_fixed, index in row_sources
+        ]

@@ -18,7 +18,7 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.errors import ReproError
-from repro.tools.base import Sample, ToolReport
+from repro.tools.base import Sample, SampleColumns, ToolReport
 
 _FORMAT_VERSION = 1
 
@@ -80,6 +80,21 @@ def save_report_json(report: ToolReport, path: PathLike,
     roughly halves the file for large sample logs, and loads back
     identically.
     """
+    samples = report.samples
+    if isinstance(samples, SampleColumns):
+        # Columnar fast path: transpose the typed columns directly into
+        # the JSON row dicts instead of materializing Sample objects.
+        names = samples.names
+        sample_docs = [
+            {"timestamp": timestamp, "values": dict(zip(names, row))}
+            for timestamp, row in zip(samples.timestamps,
+                                      zip(*samples.columns))
+        ]
+    else:
+        sample_docs = [
+            {"timestamp": sample.timestamp, "values": dict(sample.values)}
+            for sample in samples
+        ]
     document = {
         "format_version": _FORMAT_VERSION,
         "tool": report.tool,
@@ -89,10 +104,7 @@ def save_report_json(report: ToolReport, path: PathLike,
         "victim_pid": report.victim_pid,
         "totals": dict(report.totals),
         "metadata": dict(report.metadata),
-        "samples": [
-            {"timestamp": sample.timestamp, "values": dict(sample.values)}
-            for sample in report.samples
-        ],
+        "samples": sample_docs,
     }
     if report.control is not None:
         # Only adaptive runs carry a control ledger; omitting the key
@@ -150,17 +162,27 @@ def save_samples_csv(report: ToolReport, path: PathLike) -> None:
     """
     if not report.samples:
         raise ReportIOError("report has no samples to write")
-    columns = sorted(report.samples[0].values)
+    samples = report.samples
     # One buffered writerows call: the controller can log hundreds of
     # thousands of samples, and per-row writerow round-trips through
     # the csv module dominate the write otherwise.
     with open(path, "w", newline="", buffering=1 << 16) as handle:
         writer = csv.writer(handle)
+        if isinstance(samples, SampleColumns):
+            # Columnar fast path: zip the typed columns straight into
+            # rows — same sorted layout, no Sample/dict per row.
+            columns = sorted(samples.names)
+            writer.writerow(["timestamp_ns"] + columns)
+            writer.writerows(zip(samples.timestamps,
+                                 *(samples.column(name)
+                                   for name in columns)))
+            return
+        columns = sorted(samples[0].values)
         writer.writerow(["timestamp_ns"] + columns)
         writer.writerows(
             [sample.timestamp]
             + [sample.values.get(name, 0) for name in columns]
-            for sample in report.samples
+            for sample in samples
         )
 
 

@@ -11,12 +11,23 @@ effective capacity, used by fault injection to model memory pressure on
 the kernel sample pool — and keeps conservation counters
 (``total_pushed``/``total_drained``/``total_cleared``/``dropped``) so
 no sample can be lost untracked.
+
+Two storage layouts share the accounting machinery:
+
+* :class:`RingBuffer` — the generic deque of Python objects.
+* :class:`ColumnarRing` — a struct-of-arrays layout for fixed-schema
+  counter samples (the columnar core): one preallocated ``array('q')``
+  per event column plus one for timestamps, pushed row-wise and
+  drained as a :class:`ColumnBatch` of column slices, so the hot path
+  never builds a per-sample dict.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from typing import Deque, Generic, List, Optional, TypeVar
+from typing import (Deque, Generic, Iterator, List, NamedTuple, Optional,
+                    Sequence, TypeVar)
 
 from repro.errors import KernelError
 from repro.obs import hooks as _obs_hooks
@@ -38,7 +49,6 @@ class RingBuffer(Generic[T]):
         )
         if not 0 <= self.resume_threshold < capacity:
             raise KernelError("resume threshold must be in [0, capacity)")
-        self._entries: Deque[T] = deque()
         self._squeezed_capacity: Optional[int] = None
         self.paused = False
         self.dropped = 0
@@ -48,9 +58,25 @@ class RingBuffer(Generic[T]):
         self.pause_episodes = 0
         self.high_watermark = 0
         self._obs = _obs_hooks.active()
+        self._init_storage()
 
-    def __len__(self) -> int:
+    # -- storage hooks (overridden by ColumnarRing) --------------------
+    def _init_storage(self) -> None:
+        self._entries: Deque[T] = deque()
+
+    def _occupancy(self) -> int:
         return len(self._entries)
+
+    def _take(self, count: int):
+        entries = self._entries
+        return [entries.popleft() for _ in range(count)]
+
+    def _wipe(self) -> None:
+        self._entries.clear()
+
+    # -- shared accounting ---------------------------------------------
+    def __len__(self) -> int:
+        return self._occupancy()
 
     @property
     def effective_capacity(self) -> int:
@@ -65,11 +91,11 @@ class RingBuffer(Generic[T]):
 
     @property
     def full(self) -> bool:
-        return len(self._entries) >= self.effective_capacity
+        return self._occupancy() >= self.effective_capacity
 
     @property
     def free_space(self) -> int:
-        return max(0, self.effective_capacity - len(self._entries))
+        return max(0, self.effective_capacity - self._occupancy())
 
     def squeeze(self, capacity: int) -> None:
         """Temporarily cap effective capacity (memory pressure).
@@ -91,6 +117,34 @@ class RingBuffer(Generic[T]):
         """Restore nominal capacity.  Idempotent."""
         self._squeezed_capacity = None
 
+    def _admit(self) -> bool:
+        """Back-pressure gate shared by every push flavour."""
+        if self.paused or self.full:
+            if not self.paused:
+                self.paused = True
+                self.pause_episodes += 1
+                if self._obs is not None:
+                    self._obs.buffer_paused()
+            self.dropped += 1
+            if self._obs is not None:
+                self._obs.buffer_dropped()
+            return False
+        return True
+
+    def _committed(self) -> None:
+        """Post-push accounting shared by every push flavour."""
+        self.total_pushed += 1
+        size = self._occupancy()
+        if size > self.high_watermark:
+            self.high_watermark = size
+        if self._obs is not None:
+            self._obs.buffer_pushed(size)
+        if self.full:
+            self.paused = True
+            self.pause_episodes += 1
+            if self._obs is not None:
+                self._obs.buffer_paused()
+
     def push(self, item: T) -> bool:
         """Append a sample; returns False (and pauses) when full.
 
@@ -98,46 +152,29 @@ class RingBuffer(Generic[T]):
         module is expected to stop producing until :meth:`drain` frees
         space below the resume threshold.
         """
-        obs = self._obs
-        if self.paused or self.full:
-            if not self.paused:
-                self.paused = True
-                self.pause_episodes += 1
-                if obs is not None:
-                    obs.buffer_paused()
-            self.dropped += 1
-            if obs is not None:
-                obs.buffer_dropped()
+        if not self._admit():
             return False
         self._entries.append(item)
-        self.total_pushed += 1
-        if len(self._entries) > self.high_watermark:
-            self.high_watermark = len(self._entries)
-        if obs is not None:
-            obs.buffer_pushed(len(self._entries))
-        if self.full:
-            self.paused = True
-            self.pause_episodes += 1
-            if obs is not None:
-                obs.buffer_paused()
+        self._committed()
         return True
 
-    def drain(self, max_items: Optional[int] = None) -> List[T]:
+    def drain(self, max_items: Optional[int] = None):
         """Remove and return up to ``max_items`` samples (all by default).
 
         Raises :class:`KernelError` for a negative ``max_items`` — a
         silent empty batch would mask a caller bug as starvation.
+        Returns a list for the generic buffer and a
+        :class:`ColumnBatch` for :class:`ColumnarRing`.
         """
         if max_items is not None and max_items < 0:
             raise KernelError(
                 f"drain max_items must be non-negative, got {max_items}"
             )
-        count = len(self._entries) if max_items is None else min(
-            max_items, len(self._entries)
-        )
-        drained = [self._entries.popleft() for _ in range(count)]
+        size = self._occupancy()
+        count = size if max_items is None else min(max_items, size)
+        drained = self._take(count)
         self.total_drained += count
-        if self.paused and len(self._entries) <= self.resume_threshold:
+        if self.paused and self._occupancy() <= self.resume_threshold:
             self.paused = False
             if self._obs is not None:
                 self._obs.buffer_resumed()
@@ -151,13 +188,138 @@ class RingBuffer(Generic[T]):
         fill, since the drain itself empties the buffer.
         """
         peak = self.high_watermark
-        self.high_watermark = len(self._entries)
+        self.high_watermark = self._occupancy()
         return peak
 
     def clear(self) -> None:
         """Drop everything and resume collection."""
-        self.total_cleared += len(self._entries)
-        self._entries.clear()
+        self.total_cleared += self._occupancy()
+        self._wipe()
         if self.paused and self._obs is not None:
             self._obs.buffer_resumed()
         self.paused = False
+
+
+class SampleRow(NamedTuple):
+    """One materialized row of a :class:`ColumnBatch` — duck-compatible
+    with :class:`repro.tools.base.Sample` (timestamp + values dict)."""
+
+    timestamp: int
+    values: dict
+
+
+class ColumnBatch:
+    """One drained batch in struct-of-arrays form.
+
+    ``timestamps`` and each entry of ``columns`` (aligned with
+    ``names``) are independent ``array('q')`` copies of the drained
+    window — one bulk slice copy per column, no per-sample object or
+    dict.  True aliasing views are deliberately *not* handed out: the
+    ring reuses drained slots for subsequent pushes, so a view would
+    observe future samples.
+    """
+
+    __slots__ = ("names", "timestamps", "columns")
+
+    def __init__(self, names: Sequence[str], timestamps: array,
+                 columns: List[array]) -> None:
+        self.names = tuple(names)
+        self.timestamps = timestamps
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def column(self, name: str):
+        """The values of one event column (KeyError for unknown names)."""
+        try:
+            return self.columns[self.names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[SampleRow]:
+        """Iterate sample-shaped rows (compat/debugging; the hot paths
+        consume the columns directly)."""
+        names = self.names
+        for row, timestamp in enumerate(self.timestamps):
+            yield SampleRow(timestamp, {name: column[row]
+                                        for name, column
+                                        in zip(names, self.columns)})
+
+
+class ColumnarRing(RingBuffer):
+    """Struct-of-arrays ring for fixed-schema counter samples.
+
+    ``names`` fixes the event-column schema at allocation time (the
+    K-LEB module knows its programmed layout before collection
+    starts).  :meth:`push_row` appends one sample into the preallocated
+    typed columns; :meth:`drain` returns a :class:`ColumnBatch`.  All
+    back-pressure, squeeze, and conservation semantics are inherited
+    unchanged from :class:`RingBuffer`.
+    """
+
+    def __init__(self, capacity: int, names: Sequence[str],
+                 resume_threshold: Optional[int] = None) -> None:
+        self.names = tuple(names)
+        if len(set(self.names)) != len(self.names):
+            raise KernelError("columnar ring event names must be unique")
+        super().__init__(capacity, resume_threshold)
+
+    # -- storage hooks --------------------------------------------------
+    def _init_storage(self) -> None:
+        zeros = array("q", bytes(8 * self.capacity))
+        self._timestamps = array("q", zeros)
+        self._columns = [array("q", zeros) for _ in self.names]
+        self._head = 0
+        self._size = 0
+
+    def _occupancy(self) -> int:
+        return self._size
+
+    def _segments(self, count: int):
+        """(start, stop) index pairs covering the oldest ``count`` rows."""
+        head = self._head
+        capacity = self.capacity
+        first = min(count, capacity - head)
+        if first == count:
+            return ((head, head + count),)
+        return ((head, capacity), (0, count - first))
+
+    def _take(self, count: int) -> ColumnBatch:
+        segments = self._segments(count)
+        if len(segments) == 1:
+            start, stop = segments[0]
+            timestamps = self._timestamps[start:stop]
+            columns = [column[start:stop] for column in self._columns]
+        else:
+            (s0, e0), (s1, e1) = segments
+            timestamps = self._timestamps[s0:e0] + self._timestamps[s1:e1]
+            columns = [column[s0:e0] + column[s1:e1]
+                       for column in self._columns]
+        self._head = (self._head + count) % self.capacity
+        self._size -= count
+        return ColumnBatch(self.names, timestamps, columns)
+
+    def _wipe(self) -> None:
+        self._head = 0
+        self._size = 0
+
+    # -- row push (the module's interrupt-handler hot path) -------------
+    def push_row(self, timestamp: int, values: Sequence[int]) -> bool:
+        """Append one sample given column-ordered values."""
+        if not self._admit():
+            return False
+        slot = (self._head + self._size) % self.capacity
+        self._timestamps[slot] = timestamp
+        columns = self._columns
+        for index, value in enumerate(values):
+            columns[index][slot] = value
+        self._size += 1
+        self._committed()
+        return True
+
+    def push(self, item) -> bool:
+        """Dict-sample compatibility push (tests, non-hot callers)."""
+        return self.push_row(
+            item.timestamp, [item.values.get(name, 0) for name in self.names]
+        )

@@ -31,6 +31,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.control import AdaptiveController, SensorReading
 from repro.errors import TransientModuleError
+from repro.kernel.ringbuffer import ColumnBatch
 from repro.obs import hooks as _obs_hooks
 from repro.sim.clock import ms
 from repro.tools import costs
@@ -64,6 +65,10 @@ class ControllerState:
     """Shared state between the controller program and the tool session."""
 
     samples: List[Sample] = field(default_factory=list)
+    # Columnar sessions (non-multiplexed module) accumulate drained
+    # ColumnBatch objects here instead of exploding them into Samples;
+    # the session concatenates them into one SampleColumns at finalize.
+    sample_batches: List[ColumnBatch] = field(default_factory=list)
     totals: Optional[Dict[str, int]] = None
     stop_requested: bool = False
     started: bool = False
@@ -222,7 +227,13 @@ class KLebControllerProgram(Program):
             holder["monitor_ns"] = outcome.pop("monitor_ns", 0)
             holder["pressure"] = outcome.pop("pressure", 0.0)
             holder["signal"] = outcome.pop("signal", None)
-        state.samples.extend(batch)
+        if isinstance(batch, ColumnBatch):
+            # Zero-copy hand-off: the drained columns are kept whole;
+            # no per-sample dicts are ever built on this path.
+            if len(batch):
+                state.sample_batches.append(batch)
+        else:
+            state.samples.extend(batch)
         if batch:
             # CSV formatting in user space, then one buffered write.
             instructions = (
@@ -255,13 +266,24 @@ class KLebControllerProgram(Program):
             outcome["pressure"] = 0.0
         signal = None
         if len(batch) >= 2:
-            span = batch[-1].timestamp - batch[0].timestamp
-            if span > 0:
-                first = batch[0].values.get(self._signal_event, 0)
-                last = batch[-1].values.get(self._signal_event, 0)
-                # Per-microsecond rate: spacing-independent, so the
-                # tracker survives its own period changes.
-                signal = (last - first) / span * 1000.0
+            if isinstance(batch, ColumnBatch):
+                timestamps = batch.timestamps
+                span = timestamps[-1] - timestamps[0]
+                if span > 0:
+                    try:
+                        column = batch.column(self._signal_event)
+                        first, last = column[0], column[-1]
+                    except KeyError:
+                        first = last = 0
+                    signal = (last - first) / span * 1000.0
+            else:
+                span = batch[-1].timestamp - batch[0].timestamp
+                if span > 0:
+                    first = batch[0].values.get(self._signal_event, 0)
+                    last = batch[-1].values.get(self._signal_event, 0)
+                    # Per-microsecond rate: spacing-independent, so the
+                    # tracker survives its own period changes.
+                    signal = (last - first) / span * 1000.0
         outcome["signal"] = signal
 
     def _adaptive_step(self, holder: Dict[str, object],

@@ -26,7 +26,7 @@ from repro.errors import ModuleError, ToolError, TransientModuleError
 from repro.kernel.kprobes import ProbePoint
 from repro.kernel.module import KernelModule
 from repro.kernel.process import Task
-from repro.kernel.ringbuffer import RingBuffer
+from repro.kernel.ringbuffer import ColumnarRing, RingBuffer
 from repro.kernel.hrtimer import HrTimer
 from repro.hw import events as ev
 from repro.hw import schedule
@@ -253,7 +253,6 @@ class KLebModule(KernelModule):
         # Resource setup: buffer allocation, PMU programming.
         self.kernel.charge_kernel_time(costs.KLEB_SETUP_NS)
         self.config = argument
-        self.buffer = RingBuffer(argument.buffer_capacity)
         # Reset the adaptive knobs to their pass-through defaults: a
         # fresh config starts at the nominal period with no skipping.
         self.active_period_ns = argument.period_ns
@@ -289,6 +288,16 @@ class KLebModule(KernelModule):
                     pmu.write_counter(index, preload)
         pmu.enable_fixed(user=True, kernel=argument.count_kernel)
         pmu.global_disable()
+        if self.mux is not None:
+            # Rotation changes the per-sample event schema between
+            # windows, so multiplexed sessions keep the generic ring.
+            self.buffer = RingBuffer(argument.buffer_capacity)
+        else:
+            # Fixed schema for the whole session: the columnar ring is
+            # allocated against the programmed counter-row layout and
+            # the interrupt handler pushes typed rows, never dicts.
+            row_names, _ = pmu.counter_row()
+            self.buffer = ColumnarRing(argument.buffer_capacity, row_names)
         return True
 
     def _ioctl_start(self, argument: object) -> bool:
@@ -362,7 +371,9 @@ class KLebModule(KernelModule):
     # ------------------------------------------------------------------
     # Device read (controller drains samples)
     # ------------------------------------------------------------------
-    def read(self, max_items: Optional[int] = None) -> List[Sample]:
+    def read(self, max_items: Optional[int] = None):
+        """Drain pooled samples: a :class:`ColumnBatch` from a columnar
+        session (non-multiplexed), a ``List[Sample]`` otherwise."""
         if self.buffer is None:
             raise ModuleError("K-LEB: read before config")
         if max_items is not None and max_items < 0:
@@ -585,11 +596,15 @@ class KLebModule(KernelModule):
         if self.mux is not None:
             self._mux_harvest()
             values = self._mux_sample_values()
+            pushed = self.buffer.push(
+                Sample(timestamp=self.kernel.now, values=values)
+            )
         else:
-            snapshot = self.kernel.pmu.snapshot(self.kernel.now)
-            values = dict(snapshot.by_event)
-        sample = Sample(timestamp=self.kernel.now, values=values)
-        if self.buffer.push(sample):
+            # Columnar hot path: one typed row straight into the ring's
+            # preallocated columns — no snapshot dict, no Sample object.
+            _, row = self.kernel.pmu.counter_row()
+            pushed = self.buffer.push_row(self.kernel.now, row)
+        if pushed:
             self.stats.samples_recorded += 1
         else:
             # Safety mechanism: buffer full, controller starved —

@@ -15,7 +15,8 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.process import Task, TaskState
 from repro.sim.clock import seconds
 from repro.tools import costs
-from repro.tools.base import MonitoringTool, Sample, Session, ToolReport
+from repro.tools.base import (MonitoringTool, Sample, SampleColumns, Session,
+                              ToolReport)
 from repro.tools.kleb.controller import ControllerState, KLebControllerProgram
 from repro.tools.kleb.module import KLebModule, KLebModuleConfig
 
@@ -88,11 +89,18 @@ class KLebSession(Session):
                 "multiplex_min_running_cycles": float(min(running) if running
                                                       else 0),
             })
+        if self.state.sample_batches:
+            # Columnar session: one concatenation of the drained column
+            # batches; Sample objects only ever materialize if a
+            # consumer indexes into the series.
+            samples = SampleColumns.from_batches(self.state.sample_batches)
+        else:
+            samples = list(self.state.samples)
         return ToolReport(
             tool="k-leb",
             events=self.events,
             period_ns=self.period_ns,
-            samples=list(self.state.samples),
+            samples=samples,
             totals={name: float(value) for name, value in totals.items()},
             victim_wall_ns=self.victim.wall_time_ns or 0,
             victim_pid=self.victim.pid,

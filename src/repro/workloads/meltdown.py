@@ -66,6 +66,17 @@ def _victim_scan_ops(stream_base: int, index: int) -> Tuple[MemOp, ...]:
     return tuple(ops)
 
 
+# The attack block repeats one Flush+Reload round rounds_per_char
+# times.  Memoizing the tiling keeps the *same tuple object* across
+# blocks() iterations and trials, so the core's batch replay planner
+# (keyed on op-tuple identity) compiles each character's trace once
+# per process instead of once per trial.
+@lru_cache(maxsize=None)
+def _tiled_ops(round_ops: Tuple[MemOp, ...],
+               repeats: int) -> Tuple[MemOp, ...]:
+    return round_ops * repeats
+
+
 @lru_cache(maxsize=None)
 def _flush_reload_ops(probe_base: int, stride: int,
                       byte_value: int) -> Tuple[MemOp, ...]:
@@ -169,7 +180,7 @@ class MeltdownAttack(SecretPrinter):
                                           ord(char) & 0xFF)
             # Reuse the same op objects each round: the access pattern
             # repeats exactly, and trace construction cost matters.
-            ops = round_ops * self.rounds_per_char
+            ops = _tiled_ops(round_ops, self.rounds_per_char)
             yield TraceBlock(ops=ops, instructions_per_op=_ATTACK_TRACE_IPO,
                              label=f"flush-reload-{index}")
             self._recovered.append(char)

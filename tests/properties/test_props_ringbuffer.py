@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
-from repro.kernel.ringbuffer import RingBuffer
+from repro.kernel.ringbuffer import ColumnarRing, RingBuffer
 
 
 class TestSequences:
@@ -168,3 +168,80 @@ class RingBufferMachine(RuleBasedStateMachine):
 
 
 TestRingBufferStateful = RingBufferMachine.TestCase
+
+
+class ColumnarLockstepMachine(RuleBasedStateMachine):
+    """Stateful lockstep check: ColumnarRing vs the generic RingBuffer.
+
+    Both rings see the same operation stream — pushes (accepted or
+    refused identically), partial drains that wrap the circular
+    columns, squeezes, unsqueezes, and clears — and must agree on
+    every drained row and every accounting counter (back-pressure,
+    drop, and conservation semantics are shared machinery).
+    """
+
+    NAMES = ("INST_RETIRED", "LOADS", "LLC_MISSES")
+
+    def __init__(self):
+        super().__init__()
+        self.reference = RingBuffer(8, resume_threshold=4)
+        self.columnar = ColumnarRing(8, self.NAMES, resume_threshold=4)
+        self.offered = 0
+
+    @rule(values=st.tuples(*[st.integers(-2**62, 2**62)] * 3))
+    def push(self, values):
+        self.offered += 1
+        timestamp = self.offered
+        accepted_ref = self.reference.push((timestamp, values))
+        accepted_col = self.columnar.push_row(timestamp, list(values))
+        assert accepted_ref == accepted_col
+
+    @rule(count=st.integers(min_value=1, max_value=10))
+    def drain(self, count):
+        drained_ref = self.reference.drain(count)
+        batch = self.columnar.drain(count)
+        rows = [
+            (row.timestamp,
+             tuple(row.values[name] for name in self.NAMES))
+            for row in batch
+        ]
+        assert rows == drained_ref
+
+    @rule(capacity=st.integers(min_value=1, max_value=8))
+    def squeeze(self, capacity):
+        self.reference.squeeze(capacity)
+        self.columnar.squeeze(capacity)
+
+    @rule()
+    def unsqueeze(self):
+        self.reference.unsqueeze()
+        self.columnar.unsqueeze()
+
+    @rule()
+    def clear(self):
+        self.reference.clear()
+        self.columnar.clear()
+
+    @invariant()
+    def accounting_in_lockstep(self):
+        ref, col = self.reference, self.columnar
+        assert len(col) == len(ref)
+        assert col.paused == ref.paused
+        assert col.dropped == ref.dropped
+        assert col.total_pushed == ref.total_pushed
+        assert col.total_drained == ref.total_drained
+        assert col.total_cleared == ref.total_cleared
+        assert col.pause_episodes == ref.pause_episodes
+        assert col.high_watermark == ref.high_watermark
+        assert col.effective_capacity == ref.effective_capacity
+
+    @invariant()
+    def conservation_holds(self):
+        col = self.columnar
+        assert col.total_pushed == (
+            col.total_drained + col.total_cleared + len(col)
+        )
+        assert col.total_pushed + col.dropped == self.offered
+
+
+TestColumnarLockstepStateful = ColumnarLockstepMachine.TestCase

@@ -284,6 +284,83 @@ def _load_golden() -> Dict[str, str]:
     return json.loads(GOLDEN_PATH.read_text())["digests"]
 
 
+# -- tolerance tier ---------------------------------------------------------
+#
+# Digests are exact by default.  A scenario whose canonical document
+# contains floats that a deliberate summation reorder may legitimately
+# perturb (and nothing else) can be moved from ``digests`` into the
+# golden file's ``tolerance`` section: the entry then stores the full
+# reference document plus a relative epsilon, and the gate compares
+# field by field instead of hashing.  Integer counters, layouts, fault
+# ledgers, and mux rotation never qualify — see docs/architecture.md.
+# The tier is currently empty: every optimized path is bit-identical.
+
+DEFAULT_TOLERANCE_EPSILON = 1e-9
+
+
+def _load_tolerance() -> Dict[str, Dict]:
+    return json.loads(GOLDEN_PATH.read_text()).get("tolerance", {})
+
+
+def fields_match(reference, candidate, epsilon: float) -> bool:
+    """Structural equality with relative-epsilon floats.
+
+    Containers must match in shape and key set; strings, ints, bools,
+    and None compare exactly; a comparison where either side is a
+    float passes when ``|a - b| <= epsilon * max(|a|, |b|)``.
+    """
+    if isinstance(reference, bool) or isinstance(candidate, bool):
+        return reference is candidate
+    if isinstance(reference, float) or isinstance(candidate, float):
+        if not (isinstance(reference, (int, float))
+                and isinstance(candidate, (int, float))):
+            return False
+        if reference == candidate:
+            return True
+        scale = max(abs(reference), abs(candidate))
+        return abs(reference - candidate) <= epsilon * scale
+    if isinstance(reference, dict):
+        return (isinstance(candidate, dict)
+                and reference.keys() == candidate.keys()
+                and all(fields_match(reference[key], candidate[key], epsilon)
+                        for key in reference))
+    if isinstance(reference, (list, tuple)):
+        return (isinstance(candidate, (list, tuple))
+                and len(reference) == len(candidate)
+                and all(fields_match(ref, cand, epsilon)
+                        for ref, cand in zip(reference, candidate)))
+    return type(reference) is type(candidate) and reference == candidate
+
+
+def assert_matches_golden(computed: Dict[str, str], golden: Dict[str, str],
+                          prefix: str, documents: Dict[str, Dict] = None
+                          ) -> None:
+    """Gate one scenario family against the golden file.
+
+    Keys in the exact tier compare digest-to-digest.  Keys in the
+    tolerance tier compare the recomputed canonical document (supplied
+    via ``documents``) field-by-field against the stored reference at
+    the entry's epsilon.
+    """
+    tolerance = _load_tolerance()
+    expected = {key: value for key, value in golden.items()
+                if key.startswith(prefix) and key not in tolerance}
+    exact = {key: value for key, value in computed.items()
+             if key not in tolerance}
+    assert exact == expected
+    for key, entry in tolerance.items():
+        if not key.startswith(prefix):
+            continue
+        assert documents is not None and key in documents, (
+            f"{key} is in the tolerance tier but its compute function "
+            "did not supply the canonical document for comparison"
+        )
+        epsilon = entry.get("epsilon", DEFAULT_TOLERANCE_EPSILON)
+        assert fields_match(entry["fields"], documents[key], epsilon), (
+            f"{key} drifted beyond relative epsilon {epsilon}"
+        )
+
+
 @pytest.fixture(scope="module")
 def golden() -> Dict[str, str]:
     if not GOLDEN_PATH.exists():  # pragma: no cover - repo invariant
@@ -293,52 +370,38 @@ def golden() -> Dict[str, str]:
 
 def test_table2_digests_match_golden(golden):
     computed = compute_table2_digests()
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("table2/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "table2/")
 
 
 def test_fig7_digests_match_golden(golden):
     computed = compute_fig7_digests()
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("fig7/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "fig7/")
 
 
 def test_fig9_digests_match_golden(golden):
     computed = compute_fig9_digests()
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("fig9/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "fig9/")
 
 
 def test_fault_digests_match_golden(golden):
     computed = compute_fault_digests()
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("faults/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "faults/")
 
 
 def test_multiplex_digests_match_golden(golden):
     computed = compute_multiplex_digests()
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("multiplex/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "multiplex/")
 
 
 def test_multiplex_digests_identical_across_worker_counts(golden):
     """jobs=4 must hash to the jobs=1 golden values bit for bit."""
     computed = compute_multiplex_digests(jobs=4)
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("multiplex/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "multiplex/")
 
 
 def test_adaptive_digests_match_golden(golden):
     computed = compute_adaptive_digests()
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("adaptive/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "adaptive/")
 
 
 def test_adaptive_digests_identical_across_worker_counts(golden):
@@ -346,9 +409,7 @@ def test_adaptive_digests_identical_across_worker_counts(golden):
     the closed loop (and its faulted ladder history) draws nothing
     from worker scheduling."""
     computed = compute_adaptive_digests(jobs=4)
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("adaptive/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "adaptive/")
 
 
 def test_obs_enabled_report_digest_equals_obs_off(golden):
@@ -378,9 +439,40 @@ def test_obs_enabled_report_digest_equals_obs_off(golden):
 
 def test_obs_digests_match_golden(golden):
     computed = compute_obs_digests()
-    expected = {key: value for key, value in golden.items()
-                if key.startswith("obs/")}
-    assert computed == expected
+    assert_matches_golden(computed, golden, "obs/")
+
+
+class TestToleranceComparator:
+    """The per-field comparator backing the (currently empty) tier."""
+
+    def test_non_float_fields_compare_exactly(self):
+        doc = {"tool": "k-leb", "period_ns": 100_000,
+               "samples": [{"timestamp": 7, "values": {"LOADS": 3}}]}
+        assert fields_match(doc, json.loads(json.dumps(doc)), 1e-9)
+        assert not fields_match({"n": 5}, {"n": 6}, 1e-2)
+        assert not fields_match({"n": "5"}, {"n": 5}, 1e-2)
+        assert not fields_match({"n": True}, {"n": 1}, 1e-2)
+
+    def test_floats_pass_within_relative_epsilon(self):
+        assert fields_match({"mean": 1.0}, {"mean": 1.0 + 5e-10}, 1e-9)
+        assert fields_match({"mean": -1e12}, {"mean": -1e12 * (1 + 1e-10)},
+                            1e-9)
+        # Int-vs-float mixes are numeric when either side is a float.
+        assert fields_match({"mean": 2.0}, {"mean": 2}, 1e-9)
+
+    def test_floats_fail_beyond_relative_epsilon(self):
+        assert not fields_match({"mean": 1.0}, {"mean": 1.0 + 5e-9}, 1e-9)
+        assert not fields_match({"mean": 0.0}, {"mean": 1e-30}, 1e-9)
+
+    def test_shape_mismatches_fail(self):
+        assert not fields_match({"a": 1}, {"a": 1, "b": 2}, 1e-9)
+        assert not fields_match([1, 2], [1, 2, 3], 1e-9)
+        assert not fields_match({"a": [1]}, {"a": {"0": 1}}, 1e-9)
+
+    def test_tolerance_tier_is_empty(self):
+        """Every optimized path is bit-identical today; moving a key
+        into the tier is a reviewed decision, not drift."""
+        assert _load_tolerance() == {}
 
 
 def _regen() -> None:  # pragma: no cover - manual tool
@@ -391,6 +483,10 @@ def _regen() -> None:  # pragma: no cover - manual tool
                  "`python tests/test_golden_digests.py --regen` against "
                  "the pre-optimization reference implementation."),
         "digests": compute_all_digests(),
+        # Exact by default: entries move here (full reference document
+        # + relative epsilon) only for documented float-summation
+        # reorders — see docs/architecture.md.
+        "tolerance": _load_tolerance() if GOLDEN_PATH.exists() else {},
     }
     GOLDEN_PATH.write_text(json.dumps(document, indent=2, sort_keys=True)
                            + "\n")

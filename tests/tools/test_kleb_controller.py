@@ -15,6 +15,18 @@ from repro.workloads.synthetic import UniformComputeWorkload
 EVENTS = ("LOADS", "STORES")
 
 
+def collected(state):
+    """Everything the controller drained, as sample-shaped rows.
+
+    Non-multiplexed sessions accumulate ColumnBatch objects in
+    ``state.sample_batches``; multiplexed ones fill ``state.samples``.
+    """
+    rows = list(state.samples)
+    for batch in state.sample_batches:
+        rows.extend(batch)
+    return rows
+
+
 def build_system(victim_instructions=2e7, period=us(100)):
     kernel = Kernel(Machine(i7_920()), rng=RngStreams(0))
     module = kernel.load_module(KLebModule())
@@ -44,7 +56,7 @@ class TestControllerLifecycle:
             victim_instructions=2e8  # ~75 ms: several drain intervals
         )
         kernel.run_until_exit(victim, deadline=seconds(5))
-        assert len(state.samples) > 0
+        assert len(collected(state)) > 0
 
     def test_drain_interval_has_jiffy_floor(self):
         _, _, _, _, _, program = build_system(period=us(100))
@@ -70,7 +82,7 @@ class TestControllerLifecycle:
         kernel.run_until_exit(victim, deadline=seconds(5))
         state.stop_requested = True
         kernel.run_until_exit(controller, deadline=kernel.now + seconds(5))
-        timestamps = [sample.timestamp for sample in state.samples]
+        timestamps = [sample.timestamp for sample in collected(state)]
         assert timestamps == sorted(timestamps)
         assert len(set(timestamps)) == len(timestamps)
 
@@ -79,4 +91,4 @@ class TestControllerLifecycle:
         kernel.run_until_exit(victim, deadline=seconds(5))
         state.stop_requested = True
         kernel.run_until_exit(controller, deadline=kernel.now + seconds(5))
-        assert state.log_bytes == 64 * len(state.samples)
+        assert state.log_bytes == 64 * len(collected(state))
