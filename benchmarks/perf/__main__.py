@@ -34,7 +34,8 @@ DEFAULT_OUTPUT = Path(__file__).parent.parent.parent / "BENCH_hotpath.json"
 # committed speedup numbers; the micros are the sensitive detectors.
 CHECKED = ("pmu_accumulate", "pmu_epoch_accumulate", "event_queue",
            "hrtimer_rearm", "trace_replay", "trace_replay_batch",
-           "ringbuffer_drain_columnar", "end_to_end_table2_fig7")
+           "ringbuffer_drain_columnar", "ringbuffer_merge_drain",
+           "end_to_end_table2_fig7")
 
 # Hard caps on the same-process on/off ratios: full tracing+metrics
 # may slow the monitored end-to-end path by at most 15 %, and an armed

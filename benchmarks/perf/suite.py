@@ -333,6 +333,46 @@ def bench_ringbuffer_drain_columnar(rows: int) -> Dict[str, float]:
     return result
 
 
+def bench_ringbuffer_merge_drain(rows: int) -> Dict[str, float]:
+    """PerCpuRing push/merging-drain round-trips (the SMP sample path).
+
+    Four private per-CPU rings fed round-robin with interleaved
+    timestamps — the shape a 4-core lockstep run produces — drained
+    through the k-way ``(timestamp, cpu)`` merge in half-capacity
+    batches.  This prices the merge planner on top of the plain
+    columnar drain measured above.
+    """
+    from repro.kernel.ringbuffer import PerCpuRing
+
+    names = ("INST_RETIRED", "CORE_CYCLES", "REF_CYCLES", "LOADS",
+             "STORES", "CACHE_FLUSHES", "L1D_MISSES", "L2_MISSES",
+             "LLC_REFERENCES", "LLC_MISSES")
+    cpus = 4
+    capacity_per_cpu = 256
+    ring = PerCpuRing(capacity_per_cpu, names, cpus=cpus)
+    row = list(range(10, 110, 10))
+    batch = capacity_per_cpu * cpus // 2
+    drained = 0
+
+    def loop() -> int:
+        nonlocal drained
+        push_row = ring.push_row
+        drain = ring.drain
+        for index in range(rows):
+            # Round-robin across CPUs with a shared clock: adjacent
+            # pushes land in different rings with out-of-order keys,
+            # which is exactly what the merge has to untangle.
+            push_row(index & 3, index >> 2, row)
+            if index % batch == batch - 1:
+                drained += len(drain())
+        drained += len(drain())
+        return rows
+
+    result = _timed(loop)
+    result["checksum"] = float(drained)
+    return result
+
+
 def bench_end_to_end(quick: bool) -> Dict[str, float]:
     """The acceptance benchmark: a table2 population plus the fig7 pair.
 
@@ -558,6 +598,7 @@ _QUICK_SCALE = {
     "trace_replay": 60,
     "trace_replay_batch": 60,
     "ringbuffer_drain_columnar": 100_000,
+    "ringbuffer_merge_drain": 60_000,
 }
 _FULL_SCALE = {
     "pmu_accumulate": 100_000,
@@ -567,6 +608,7 @@ _FULL_SCALE = {
     "trace_replay": 300,
     "trace_replay_batch": 300,
     "ringbuffer_drain_columnar": 500_000,
+    "ringbuffer_merge_drain": 300_000,
 }
 
 
@@ -612,6 +654,9 @@ def run_suite(quick: bool = False,
     results["ringbuffer_drain_columnar"] = _best_of(
         lambda: bench_ringbuffer_drain_columnar(
             scale["ringbuffer_drain_columnar"]), repeats)
+    results["ringbuffer_merge_drain"] = _best_of(
+        lambda: bench_ringbuffer_merge_drain(
+            scale["ringbuffer_merge_drain"]), repeats)
     results["end_to_end_table2_fig7"] = _best_of(
         lambda: bench_end_to_end(quick), repeats)
     results["obs_overhead"] = bench_obs_overhead(quick, repeats)

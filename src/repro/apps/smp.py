@@ -1,174 +1,19 @@
-"""Shared-LLC multi-core clusters.
+"""Shared-LLC multi-core clusters (compatibility shim).
 
-The paper's scheduling motivation (§II-C, §IV-B, citing Torres et al.)
-is about workloads on *different cores contending for the shared
-last-level cache*.  The base substrate is a single time-shared core;
-this module composes several of those into a cluster: one
-(machine, kernel) pair per core, all front-ending the **same**
-:class:`~repro.hw.cache.CacheLevel` as their LLC, advanced in lockstep
-time windows.
-
-That gives real parallel contention — a streamer on core 1 evicts the
-LLC-resident working set of a service on core 0 *while it runs* — with
-zero changes to the single-core kernel semantics.  Each core keeps its
-own PMU and can run its own K-LEB instance, exactly like per-core
-monitoring on a real SMP.
-
-Window size bounds the skew between cores (default 100 µs — well under
-the scheduler quantum and the cache-reuse timescales that matter).
+The cluster started life here as a demo app; it has since been promoted
+into the first-class SMP substrate at :mod:`repro.kernel.smp` (per-core
+PMUs, per-socket uncore counters, seeded CPU migration).  This module
+re-exports the public names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from repro.kernel.smp import (DEFAULT_WINDOW_NS, ParallelCorunResult,
+                              SmpCluster, corun_parallel)
 
-from repro.errors import ExperimentError
-from repro.hw.cache import CacheLevel
-from repro.hw.machine import Machine, MachineConfig
-from repro.hw.presets import i7_920
-from repro.kernel.config import KernelConfig
-from repro.kernel.kernel import Kernel
-from repro.kernel.process import Task
-from repro.sim.clock import us
-from repro.sim.rng import RngStreams
-from repro.workloads.base import Program
-
-DEFAULT_WINDOW_NS = us(100)
-
-
-class SmpCluster:
-    """N single-core kernels sharing one last-level cache."""
-
-    def __init__(self, cores: int = 2,
-                 machine_config: Optional[MachineConfig] = None,
-                 kernel_config: Optional[KernelConfig] = None,
-                 seed: int = 0) -> None:
-        if cores < 1:
-            raise ExperimentError("a cluster needs at least one core")
-        config = machine_config or i7_920()
-        if len(config.cache_levels) < 2:
-            raise ExperimentError(
-                "shared-LLC clustering needs private levels plus an LLC"
-            )
-        self.config = config
-        self.shared_llc = CacheLevel(config.cache_levels[-1])
-        self.kernels: List[Kernel] = []
-        base_rng = RngStreams(seed)
-        for core in range(cores):
-            machine = Machine(config, shared_llc=self.shared_llc)
-            kernel = Kernel(
-                machine,
-                config=kernel_config or KernelConfig(noise_enabled=False),
-                rng=base_rng.fork(core + 1),
-            )
-            self.kernels.append(kernel)
-
-    @property
-    def cores(self) -> int:
-        return len(self.kernels)
-
-    def kernel(self, core: int) -> Kernel:
-        try:
-            return self.kernels[core]
-        except IndexError:
-            raise ExperimentError(
-                f"no core {core} in a {self.cores}-core cluster"
-            ) from None
-
-    def spawn(self, core: int, program: Program, **kwargs) -> Task:
-        """Spawn ``program`` on the given core's kernel."""
-        return self.kernel(core).spawn(program, **kwargs)
-
-    def run(self, deadline_ns: int,
-            window_ns: int = DEFAULT_WINDOW_NS) -> None:
-        """Advance every core in lockstep windows up to ``deadline_ns``."""
-        if window_ns <= 0:
-            raise ExperimentError("window must be positive")
-        horizon = min(kernel.now for kernel in self.kernels)
-        while horizon < deadline_ns:
-            horizon = min(horizon + window_ns, deadline_ns)
-            for kernel in self.kernels:
-                if kernel.now < horizon:
-                    kernel.run(deadline=horizon)
-
-    def run_until_tasks_exit(self, tasks: Sequence[Task],
-                             deadline_ns: int,
-                             window_ns: int = DEFAULT_WINDOW_NS) -> None:
-        """Lockstep-advance until every listed task has exited."""
-        if window_ns <= 0:
-            raise ExperimentError("window must be positive")
-        horizon = min(kernel.now for kernel in self.kernels)
-        while any(task.alive for task in tasks):
-            if horizon >= deadline_ns:
-                alive = [task.name for task in tasks if task.alive]
-                raise ExperimentError(
-                    f"cluster deadline reached with tasks alive: {alive}"
-                )
-            horizon = min(horizon + window_ns, deadline_ns)
-            for kernel in self.kernels:
-                if kernel.now < horizon:
-                    kernel.run(deadline=horizon)
-
-    def max_skew_ns(self) -> int:
-        """Current clock skew between the fastest and slowest core."""
-        times = [kernel.now for kernel in self.kernels]
-        return max(times) - min(times)
-
-
-@dataclass(frozen=True)
-class ParallelCorunResult:
-    """Contention outcome for one program in a parallel co-run."""
-
-    name: str
-    core: int
-    solo_wall_ns: int
-    corun_wall_ns: int
-
-    @property
-    def slowdown(self) -> float:
-        """Wall-time inflation from sharing the LLC.
-
-        Unlike the single-core co-run, there is no time-slicing here:
-        every core is dedicated, so any slowdown IS cache contention.
-        """
-        if self.solo_wall_ns <= 0:
-            raise ExperimentError(f"{self.name}: empty solo run")
-        return self.corun_wall_ns / self.solo_wall_ns
-
-
-def corun_parallel(programs: Sequence[Program],
-                   machine_config: Optional[MachineConfig] = None,
-                   seed: int = 0,
-                   deadline_ns: int = 2_000_000_000
-                   ) -> List[ParallelCorunResult]:
-    """Run each program on its own core of a shared-LLC cluster.
-
-    Returns per-program results with solo-vs-corun wall times; the solo
-    baseline runs each program alone on an identical single-core
-    cluster (same private caches, unshared LLC).
-    """
-    if len(programs) < 2:
-        raise ExperimentError("parallel co-run needs at least two programs")
-    solo_walls: List[int] = []
-    for index, program in enumerate(programs):
-        cluster = SmpCluster(cores=1, machine_config=machine_config,
-                             seed=seed)
-        task = cluster.spawn(0, program)
-        cluster.run_until_tasks_exit([task], deadline_ns)
-        solo_walls.append(task.wall_time_ns or 0)
-
-    cluster = SmpCluster(cores=len(programs),
-                         machine_config=machine_config, seed=seed)
-    tasks = [cluster.spawn(core, program)
-             for core, program in enumerate(programs)]
-    cluster.run_until_tasks_exit(tasks, deadline_ns)
-    return [
-        ParallelCorunResult(
-            name=program.name,
-            core=core,
-            solo_wall_ns=solo_walls[core],
-            corun_wall_ns=tasks[core].wall_time_ns or 0,
-        )
-        for core, program in enumerate(programs)
-    ]
+__all__ = [
+    "DEFAULT_WINDOW_NS",
+    "ParallelCorunResult",
+    "SmpCluster",
+    "corun_parallel",
+]

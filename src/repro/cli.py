@@ -9,6 +9,7 @@ Usage::
     kleb-repro monitor --workload matmul --tool k-leb --period-ms 10
     kleb-repro monitor --tool k-leb --events L1D_MISSES,L2_MISSES,... \
         --multiplex 1.0
+    kleb-repro monitor --workload matmul --cores 4 --migrate
 
 ``run`` executes one paper table/figure reproduction and prints the
 paper-style text output; ``monitor`` runs a single monitored trial and
@@ -61,6 +62,8 @@ _QUICK_KWARGS = {
     "crosscheck": {},
     "multiplex": {"n": 128, "rotation_periods_ns": (ms(1), ms(0.5), ms(0.2))},
     "adaptive": {"phase_instructions": (60e6, 45e6, 70e6, 50e6)},
+    "smp": {"cores": 2, "service_accesses": 60_000,
+            "streamer_accesses": 80_000},
 }
 
 
@@ -168,6 +171,16 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--adapt", action="store_true",
                          help="close the loop: adapt the sampling period "
                               "and drain batches online (k-leb only)")
+    monitor.add_argument("--cores", type=int, default=None, metavar="N",
+                         help="run on an N-core SMP cluster with per-core "
+                              "PMUs and a merged per-CPU sample ring "
+                              "(k-leb only)")
+    monitor.add_argument("--sockets", type=int, default=1, metavar="M",
+                         help="spread --cores evenly over M sockets, one "
+                              "uncore PMU each (default 1)")
+    monitor.add_argument("--migrate", action="store_true",
+                         help="enable seeded CPU migration of the "
+                              "monitored task (requires --cores >= 2)")
     monitor.add_argument("--overhead-budget", type=float, default=None,
                          metavar="PCT",
                          help="overhead budget for --adapt as a percentage "
@@ -205,7 +218,7 @@ def _run_experiment(experiment_id: str, seed: int,
         key = {"table1": "trials", "fig4": "trials",
                "fig6": "rounds"}.get(experiment_id, "runs")
         if experiment_id in ("fig7", "fig9", "crosscheck", "multiplex",
-                             "adaptive"):
+                             "adaptive", "smp"):
             pass  # single-run experiments
         else:
             kwargs[key] = runs
@@ -281,6 +294,57 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor_smp(args: argparse.Namespace, program, events) -> int:
+    """One monitored trial on an N-core cluster (k-leb only)."""
+    from repro.errors import ExperimentError
+    from repro.experiments.smp import run_monitored_smp
+
+    try:
+        result = run_monitored_smp(
+            program, events=events, period_ns=ms(args.period_ms),
+            seed=args.seed, cores=args.cores, sockets=args.sockets,
+            migrate=args.migrate, fault_plan=args.faults,
+        )
+    except (PMUError, ToolError, ExperimentError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = result.report
+    print(f"workload : {program.name}")
+    print(f"tool     : {report.tool} @ {report.period_ns / 1e6:g} ms")
+    print(f"topology : {args.cores} core(s), {args.sockets} socket(s)"
+          f"{', migration on' if args.migrate else ''}")
+    print(f"wall time: {result.wall_ns / 1e9:.6f} s")
+    print(f"samples  : {report.sample_count}")
+    print(f"migrations: {report.metadata.get('smp_migrations', 0):g}")
+    rows = [[name, f"{value:,.0f}"]
+            for name, value in sorted(report.totals.items())]
+    print(text_table(["event", "total"], rows))
+    per_cpu = [[f"cpu{cpu}"] + [
+        f"{report.metadata.get(f'smp_cpu{cpu}:{name}', 0.0):,.0f}"
+        for name in events]
+        for cpu in range(args.cores)]
+    print(text_table(["core"] + list(events), per_cpu,
+                     title="per-core victim totals"))
+    for socket, bandwidth in enumerate(result.uncore_bandwidth_bytes_per_sec):
+        print(f"uncore[{socket}]: {bandwidth / 1e6:,.1f} MB/s smoothed "
+              f"({', '.join(f'{name}={value:,d}' for name, value in sorted(result.uncore_totals[socket].items()))})")
+    series = deltas(samples_to_series(report.samples))
+    for name in events:
+        if len(series) and name in series.values:
+            print(f"{name:16s} {sparkline(series.event(name))}")
+    if args.save_json:
+        from repro.io import save_report_json
+
+        save_report_json(report, args.save_json)
+        print(f"report written to {args.save_json}")
+    if args.save_csv:
+        from repro.io import save_samples_csv
+
+        save_samples_csv(report, args.save_csv)
+        print(f"samples written to {args.save_csv}")
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     program = _WORKLOADS[args.workload]()
     events = tuple(part.strip() for part in args.events.split(",") if part)
@@ -311,6 +375,41 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print(f"error: {flag} is only supported by the k-leb tool, "
               f"not {args.tool!r}", file=sys.stderr)
         return 2
+    if args.cores is None:
+        if args.migrate:
+            print("error: --migrate requires --cores", file=sys.stderr)
+            return 2
+        if args.sockets != 1:
+            print("error: --sockets requires --cores", file=sys.stderr)
+            return 2
+    else:
+        # A non-positive geometry must die with a diagnostic, not a
+        # stack trace (and never a silently desynchronized cluster).
+        if args.cores < 1:
+            print(f"error: --cores must be >= 1, got {args.cores}",
+                  file=sys.stderr)
+            return 2
+        if args.sockets < 1:
+            print(f"error: --sockets must be >= 1, got {args.sockets}",
+                  file=sys.stderr)
+            return 2
+        if args.cores % args.sockets:
+            print(f"error: --cores ({args.cores}) must divide evenly "
+                  f"across --sockets ({args.sockets})", file=sys.stderr)
+            return 2
+        if args.migrate and args.cores < 2:
+            print("error: --migrate needs --cores >= 2", file=sys.stderr)
+            return 2
+        if args.tool != "k-leb":
+            print(f"error: --cores is only supported by the k-leb tool, "
+                  f"not {args.tool!r}", file=sys.stderr)
+            return 2
+        if args.multiplex is not None or args.adapt:
+            flag = "--multiplex" if args.multiplex is not None else "--adapt"
+            print(f"error: {flag} is not supported on an SMP session "
+                  f"(--cores)", file=sys.stderr)
+            return 2
+        return _cmd_monitor_smp(args, program, events)
     if args.multiplex is not None or args.adapt:
         from repro.control import ControlConfig
         from repro.tools.kleb.tool import KLebTool

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig8,
     fig9,
     multiplex,
+    smp,
     table1,
     table2,
     table3,
@@ -93,6 +94,10 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         ExperimentEntry(
             "adaptive", "Adaptive vs fixed sampling accuracy/overhead frontier",
             adaptive.run, adaptive.render,
+        ),
+        ExperimentEntry(
+            "smp", "SMP contention crosscheck (streamers vs monitored service)",
+            smp.run, smp.render,
         ),
     ]
 }

@@ -211,3 +211,45 @@ def run_trials_parallel(program: Program, tool: MonitoringTool, runs: int,
             obs_hooks.merge_chunk(summary.obs)
             summary.obs = None
     return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Generic seeded fan-out (SMP populations and other custom trial bodies)
+# ----------------------------------------------------------------------
+
+# Set in the parent immediately before the pool forks; workers read it.
+_map_fn = None
+
+
+def _map_one(index: int):
+    fn = _map_fn
+    assert fn is not None, "worker forked without a map context"
+    return (index, fn(index))
+
+
+def map_trials(fn, runs: int, *, jobs: Optional[int] = None) -> List[object]:
+    """Order-preserving fork-pool map of ``fn`` over ``range(runs)``.
+
+    The same determinism contract as :func:`run_trials_parallel`, for
+    trial bodies that don't fit the ``run_monitored`` shape (e.g. whole
+    SMP cluster runs): as long as ``fn(i)`` is a pure function of ``i``
+    — which every seeded trial already is — any worker count yields a
+    bit-identical, index-ordered result list.  ``fn`` is inherited via
+    fork (never pickled); returned values must be picklable.
+    """
+    effective = resolve_jobs(jobs, runs)
+    if effective <= 1 or runs <= 1:
+        return [fn(index) for index in range(runs)]
+    global _map_fn
+    context = multiprocessing.get_context("fork")
+    _map_fn = fn
+    results: List[object] = [None] * runs
+    try:
+        with context.Pool(processes=effective) as pool:
+            # chunksize=1 for load balance; order is restored by index.
+            for index, value in pool.imap_unordered(_map_one, range(runs),
+                                                    chunksize=1):
+                results[index] = value
+    finally:
+        _map_fn = None
+    return results

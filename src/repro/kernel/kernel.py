@@ -318,6 +318,8 @@ class Kernel:
                 if self.scheduler.should_preempt(self.now):
                     self._charge_context_switch()
                     self.scheduler.deschedule_current(TaskState.RUNNABLE)
+                else:
+                    self._maybe_migrate()
 
     def run_until_exit(self, task: Task,
                        deadline: Optional[int] = None) -> None:
@@ -339,11 +341,25 @@ class Kernel:
         if self.scheduler.should_preempt(self.now):
             self._charge_context_switch()
             self.scheduler.deschedule_current(TaskState.RUNNABLE)
+        elif self._maybe_migrate():
+            pass  # Current task left for another CPU; re-pick next loop.
         else:
             if next_event is None or next_event > self.now:
                 # Alone on the CPU with the quantum spent: new slice.
                 self.scheduler.refresh_slice(self.now)
             # Events due exactly now dispatch at the top of the loop.
+
+    def _maybe_migrate(self) -> bool:
+        """Offer the current task to the cluster's migration hook.
+
+        A single-core kernel has no hook installed, so this is one
+        attribute check on that path — behaviour and RNG consumption
+        are untouched.
+        """
+        hook = self.scheduler.migration
+        if hook is None or self.scheduler.current is None:
+            return False
+        return hook(self)
 
     def _advance_idle(self, deadline: Optional[int]) -> bool:
         """No runnable task: jump to the next event.

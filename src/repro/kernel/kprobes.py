@@ -17,6 +17,7 @@ class ProbePoint(enum.Enum):
 
     SCHED_SWITCH_IN = "sched:switch_in"    # args: (task,)
     SCHED_SWITCH_OUT = "sched:switch_out"  # args: (task,)
+    SCHED_MIGRATE = "sched:migrate"        # args: (task, src_cpu, dst_cpu)
     PROCESS_FORK = "process:fork"          # args: (parent, child)
     PROCESS_EXIT = "process:exit"          # args: (task,)
 

@@ -52,6 +52,9 @@ class Task:
         self.cpu_time_ns = 0
         self.instructions_retired = 0.0
         self.children: List[int] = []
+        # CPU affinity: a pinned task is never offered to the SMP
+        # migration policy (taskset semantics for e.g. the controller).
+        self.pinned = False
         self.on_exit: List[Callable[["Task"], None]] = []
         # Scratch area for tool/driver state attached to this task
         # (e.g. LiMiT's user-space counter shadow).

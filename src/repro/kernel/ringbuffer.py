@@ -24,6 +24,7 @@ Two storage layouts share the accounting machinery:
 
 from __future__ import annotations
 
+import heapq
 from array import array
 from collections import deque
 from typing import (Deque, Generic, Iterator, List, NamedTuple, Optional,
@@ -323,3 +324,179 @@ class ColumnarRing(RingBuffer):
         return self.push_row(
             item.timestamp, [item.values.get(name, 0) for name in self.names]
         )
+
+    def peek_timestamp(self, index: int) -> int:
+        """Timestamp of the ``index``-th oldest pending row (no removal).
+
+        Used by :class:`PerCpuRing` to plan its merging drain without
+        disturbing per-ring accounting.
+        """
+        if not 0 <= index < self._size:
+            raise KernelError(
+                f"peek index {index} out of range for occupancy {self._size}"
+            )
+        return self._timestamps[(self._head + index) % self.capacity]
+
+
+class PerCpuRing:
+    """One :class:`ColumnarRing` per CPU with a merging drain.
+
+    This mirrors the per-CPU buffer design perf uses on real SMP
+    kernels: each core's interrupt handler writes into a private ring
+    (no cross-core synchronization on the push path), and the reader
+    merges the per-CPU streams back into one timestamp-ordered stream.
+
+    Merge semantics: the drain repeatedly takes the ring whose *oldest*
+    pending row has the smallest ``(timestamp, cpu)`` key — per-CPU FIFO
+    order is preserved by construction (a ring's rows are only ever
+    consumed oldest-first) and ties are broken by cpu index.  The merged
+    :class:`ColumnBatch` carries an extra trailing ``cpu`` column.
+
+    Accounting (pause/drop/pushed/drained/cleared/high-watermark) lives
+    in the per-CPU rings, exactly as on real hardware where each CPU's
+    buffer back-pressures independently; the aggregate properties below
+    expose sums (and ``paused`` as *any ring paused*) so the K-LEB
+    controller's pressure signals work unchanged.
+    """
+
+    def __init__(self, capacity_per_cpu: int, names: Sequence[str],
+                 cpus: int,
+                 resume_threshold: Optional[int] = None) -> None:
+        if cpus <= 0:
+            raise KernelError(
+                f"per-cpu ring needs at least one cpu, got {cpus}"
+            )
+        if "cpu" in names:
+            raise KernelError(
+                "'cpu' is a reserved column name in a per-cpu ring"
+            )
+        self.cpus = cpus
+        self.capacity_per_cpu = capacity_per_cpu
+        self.names = tuple(names) + ("cpu",)
+        self.rings = [ColumnarRing(capacity_per_cpu, names, resume_threshold)
+                      for _ in range(cpus)]
+
+    # -- aggregate accounting (controller-compatible surface) -----------
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self.rings)
+
+    @property
+    def capacity(self) -> int:
+        return sum(ring.capacity for ring in self.rings)
+
+    @property
+    def effective_capacity(self) -> int:
+        return sum(ring.effective_capacity for ring in self.rings)
+
+    @property
+    def paused(self) -> bool:
+        return any(ring.paused for ring in self.rings)
+
+    @property
+    def full(self) -> bool:
+        return all(ring.full for ring in self.rings)
+
+    @property
+    def dropped(self) -> int:
+        return sum(ring.dropped for ring in self.rings)
+
+    @property
+    def total_pushed(self) -> int:
+        return sum(ring.total_pushed for ring in self.rings)
+
+    @property
+    def total_drained(self) -> int:
+        return sum(ring.total_drained for ring in self.rings)
+
+    @property
+    def total_cleared(self) -> int:
+        return sum(ring.total_cleared for ring in self.rings)
+
+    @property
+    def pause_episodes(self) -> int:
+        return sum(ring.pause_episodes for ring in self.rings)
+
+    @property
+    def high_watermark(self) -> int:
+        return sum(ring.high_watermark for ring in self.rings)
+
+    def take_high_watermark(self) -> int:
+        """Sum of per-ring peaks since the last call (each ring resets
+        to its current fill, matching :meth:`RingBuffer.take_high_watermark`)."""
+        return sum(ring.take_high_watermark() for ring in self.rings)
+
+    def squeeze(self, capacity: int) -> None:
+        """Squeeze every per-CPU ring to an equal share of ``capacity``
+        (at least one slot each)."""
+        if capacity <= 0:
+            raise KernelError(
+                f"squeeze capacity must be positive, got {capacity}"
+            )
+        share = max(1, capacity // self.cpus)
+        for ring in self.rings:
+            ring.squeeze(share)
+
+    def unsqueeze(self) -> None:
+        for ring in self.rings:
+            ring.unsqueeze()
+
+    @property
+    def squeezed(self) -> bool:
+        return any(ring.squeezed for ring in self.rings)
+
+    def clear(self) -> None:
+        for ring in self.rings:
+            ring.clear()
+
+    # -- per-cpu push (each core's interrupt-handler hot path) ----------
+    def push_row(self, cpu: int, timestamp: int,
+                 values: Sequence[int]) -> bool:
+        """Append one sample into ``cpu``'s private ring."""
+        return self.rings[cpu].push_row(timestamp, values)
+
+    # -- merging drain ---------------------------------------------------
+    def drain(self, max_items: Optional[int] = None) -> ColumnBatch:
+        """Merge up to ``max_items`` rows across CPUs in timestamp order.
+
+        Two passes: first plan the interleaving by peeking each ring's
+        oldest pending timestamps (k-way merge on ``(timestamp, cpu)``),
+        then execute one bulk :meth:`ColumnarRing.drain` per ring so all
+        per-ring accounting (resume thresholds, drained totals) is
+        maintained by the rings themselves.
+        """
+        if max_items is not None and max_items < 0:
+            raise KernelError(
+                f"drain max_items must be non-negative, got {max_items}"
+            )
+        rings = self.rings
+        pending = [len(ring) for ring in rings]
+        limit = sum(pending) if max_items is None else min(max_items,
+                                                          sum(pending))
+        cursors = [0] * self.cpus
+        heap = [(rings[cpu].peek_timestamp(0), cpu)
+                for cpu in range(self.cpus) if pending[cpu]]
+        heapq.heapify(heap)
+        order: List[int] = []
+        while heap and len(order) < limit:
+            _, cpu = heapq.heappop(heap)
+            order.append(cpu)
+            cursors[cpu] += 1
+            if cursors[cpu] < pending[cpu]:
+                heapq.heappush(
+                    heap, (rings[cpu].peek_timestamp(cursors[cpu]), cpu))
+        batches = {cpu: rings[cpu].drain(taken)
+                   for cpu, taken in enumerate(cursors) if taken}
+        merged_ts = array("q")
+        merged_cols = [array("q") for _ in self.names]
+        value_cols = merged_cols[:-1]
+        cpu_col = merged_cols[-1]
+        row_of = [0] * self.cpus
+        for cpu in order:
+            batch = batches[cpu]
+            row = row_of[cpu]
+            row_of[cpu] = row + 1
+            merged_ts.append(batch.timestamps[row])
+            for out, col in zip(value_cols, batch.columns):
+                out.append(col[row])
+            cpu_col.append(cpu)
+        return ColumnBatch(self.names, merged_ts, merged_cols)

@@ -16,15 +16,52 @@ isolate the monitored process's counters (§III, Fig. 3).
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SchedulerError
 from repro.kernel.kprobes import KprobeManager, ProbePoint
 from repro.kernel.process import Task, TaskState
 
 
+class MigrationPolicy:
+    """Deterministic, seeded migrate-on-quantum policy.
+
+    At each quantum boundary the owning cluster asks the policy whether
+    the task that just exhausted its slice should move, and where.  The
+    decision stream is drawn from a dedicated RNG stream so enabling
+    migration perturbs nothing else, and repeated same-seed runs make
+    identical choices.
+    """
+
+    def __init__(self, cores: int, rng, probability: float = 0.25) -> None:
+        if cores < 2:
+            raise SchedulerError(
+                f"migration needs at least two cores, got {cores}")
+        if not 0.0 <= probability <= 1.0:
+            raise SchedulerError(
+                f"migration probability must be in [0, 1], got {probability}")
+        self.cores = cores
+        self.probability = probability
+        self._rng = rng
+
+    def pick_destination(self, cpu: int) -> Optional[int]:
+        """Destination cpu for a migration from ``cpu``, or None to stay."""
+        if self._rng.random() >= self.probability:
+            return None
+        # Uniform over the *other* cores, as an offset so the draw count
+        # is fixed regardless of source cpu.
+        offset = 1 + int(self._rng.integers(0, self.cores - 1))
+        return (cpu + offset) % self.cores
+
+
 class Scheduler:
-    """Single-core priority round-robin scheduler with kprobe hooks."""
+    """Single-core priority round-robin scheduler with kprobe hooks.
+
+    In an SMP cluster each core owns one Scheduler; ``cpu`` names the
+    core and ``migration`` (installed by the cluster) is consulted by
+    the kernel at quantum boundaries.  Both default to the single-core
+    no-op values so standalone kernels behave exactly as before.
+    """
 
     def __init__(self, quantum_ns: int, kprobes: KprobeManager) -> None:
         if quantum_ns <= 0:
@@ -33,6 +70,10 @@ class Scheduler:
         self.kprobes = kprobes
         self.current: Optional[Task] = None
         self.slice_start = 0
+        self.cpu = 0
+        # Cluster-installed hook: hook(kernel) -> bool (True = current
+        # task was migrated away).  None on single-core kernels.
+        self.migration: Optional[Callable] = None
         # Sorted list of (nice, fifo-sequence, task): the head is always
         # the highest-priority, longest-waiting task.
         self._queue: List[Tuple[int, int, Task]] = []
@@ -118,6 +159,21 @@ class Scheduler:
         self.current = None
         if new_state is TaskState.RUNNABLE:
             self.enqueue(task)
+        return task
+
+    def migrate_current_away(self) -> Task:
+        """Take the current task off this CPU for migration.
+
+        Fires the switch-out probe (K-LEB must stop counting here) and
+        leaves the task RUNNABLE but *not* locally queued — the cluster
+        enqueues it on the destination CPU.
+        """
+        task = self.current
+        if task is None:
+            raise SchedulerError("no current task to migrate")
+        self.kprobes.fire(ProbePoint.SCHED_SWITCH_OUT, task)
+        task.set_state(TaskState.RUNNABLE)
+        self.current = None
         return task
 
     def remove(self, task: Task) -> None:

@@ -26,7 +26,7 @@ from repro.errors import ModuleError, ToolError, TransientModuleError
 from repro.kernel.kprobes import ProbePoint
 from repro.kernel.module import KernelModule
 from repro.kernel.process import Task
-from repro.kernel.ringbuffer import ColumnarRing, RingBuffer
+from repro.kernel.ringbuffer import ColumnarRing, PerCpuRing, RingBuffer
 from repro.kernel.hrtimer import HrTimer
 from repro.hw import events as ev
 from repro.hw import schedule
@@ -115,6 +115,10 @@ class KLebStats:
     pause_episodes: int = 0
     handler_time_ns: int = 0
     rotations: int = 0
+    # SMP accounting: CPU migrations of traced tasks observed via the
+    # sched:migrate kprobe (the re-arm on the destination core rides
+    # the ordinary switch-in probe).
+    migrations: int = 0
     # Adaptive-control accounting: fires skipped on the sample-dropping
     # rung (gap accounting), and the drain-copy / rotation kernel time
     # the overhead sensor folds into its monitoring-cost fraction.
@@ -170,6 +174,23 @@ class _MuxState:
     cycles_mark: int = 0
 
 
+@dataclass(frozen=True)
+class SmpContext:
+    """Cluster wiring for an SMP K-LEB session.
+
+    ``kernels`` are the cluster's per-core kernels in cpu order;
+    ``home`` is the cpu hosting the controller (the module itself is
+    loaded into the home kernel).  When present, the module programs
+    every core's PMU identically, arms one HRTimer per core, registers
+    its kprobes on every core (including ``sched:migrate``), and pools
+    samples in a :class:`~repro.kernel.ringbuffer.PerCpuRing` — one
+    tool instance following a migrating task across cores.
+    """
+
+    kernels: Sequence[object]
+    home: int = 0
+
+
 def _live_descendants(kernel, root_pid: int) -> set:
     """The root plus every live descendant, by ppid walk."""
     traced = {root_pid}
@@ -190,11 +211,15 @@ class KLebModule(KernelModule):
 
     name = "k_leb"
 
-    def __init__(self) -> None:
+    def __init__(self, smp: Optional[SmpContext] = None) -> None:
         super().__init__()
+        self.smp = smp
         self.config: Optional[KLebModuleConfig] = None
         self.buffer: Optional[RingBuffer] = None
         self.timer: Optional[HrTimer] = None
+        # One timer per cpu on an SMP session; None on the classic path.
+        self.timers: Optional[List[HrTimer]] = None
+        self.final_totals_by_cpu: Optional[List[Dict[str, int]]] = None
         self.traced_pids: set = set()
         self.root_pid: Optional[int] = None
         self.collecting = False
@@ -213,12 +238,34 @@ class KLebModule(KernelModule):
     # Module lifecycle
     # ------------------------------------------------------------------
     def on_load(self, kernel) -> None:
-        self.timer = HrTimer(kernel, self._timer_fire, label="k-leb")
+        if self.smp is None:
+            self.timer = HrTimer(kernel, self._timer_fire, label="k-leb")
+            return
+        # One HRTimer per core, each bound to its own kernel so fires
+        # charge interrupt time (and draw jitter) on the right cpu.
+        # The home timer keeps the classic label.
+        self.timers = []
+        for cpu, cpu_kernel in enumerate(self.smp.kernels):
+            label = "k-leb" if cpu == self.smp.home else f"k-leb:cpu{cpu}"
+
+            def fire(when: int, _cpu: int = cpu) -> None:
+                self._timer_fire_smp(when, _cpu)
+
+            self.timers.append(HrTimer(cpu_kernel, fire, label=label))
+        self.timer = self.timers[self.smp.home]
 
     def on_unload(self) -> None:
         if self.collecting:
             self._stop_collection()
         self.timer = None
+        self.timers = None
+
+    @property
+    def timer_misses_total(self) -> int:
+        """Missed-deadline count across every armed timer (all cpus)."""
+        if self.timers is not None:
+            return sum(timer.missed for timer in self.timers)
+        return self.timer.missed if self.timer is not None else 0
 
     # ------------------------------------------------------------------
     # ioctl interface (what the controller calls)
@@ -250,6 +297,11 @@ class KLebModule(KernelModule):
         argument.validate()
         if self.collecting:
             raise ModuleError("K-LEB: cannot reconfigure while collecting")
+        if self.smp is not None and argument.multiplex_period_ns is not None:
+            # Rotation state is per-PMU; rotating N PMUs in lockstep is
+            # out of scope for the SMP session.
+            raise ToolError(
+                "K-LEB: multiplexing is not supported on an SMP session")
         # Resource setup: buffer allocation, PMU programming.
         self.kernel.charge_kernel_time(costs.KLEB_SETUP_NS)
         self.config = argument
@@ -288,6 +340,21 @@ class KLebModule(KernelModule):
                     pmu.write_counter(index, preload)
         pmu.enable_fixed(user=True, kernel=argument.count_kernel)
         pmu.global_disable()
+        if self.smp is not None:
+            # Mirror the programmed layout onto every other core's PMU
+            # (identical slots, so counter rows share one schema); fault
+            # preloads stay on the home core only.
+            assignment = schedule.assign_counters(argument.resolved_events())
+            for cpu_kernel in self.smp.kernels:
+                other = cpu_kernel.pmu
+                if other is pmu:
+                    continue
+                other.reset_counters()
+                for event, index in assignment.programmable:
+                    other.program_counter(index, event, user=True,
+                                          kernel=argument.count_kernel)
+                other.enable_fixed(user=True, kernel=argument.count_kernel)
+                other.global_disable()
         if self.mux is not None:
             # Rotation changes the per-sample event schema between
             # windows, so multiplexed sessions keep the generic ring.
@@ -297,7 +364,14 @@ class KLebModule(KernelModule):
             # allocated against the programmed counter-row layout and
             # the interrupt handler pushes typed rows, never dicts.
             row_names, _ = pmu.counter_row()
-            self.buffer = ColumnarRing(argument.buffer_capacity, row_names)
+            if self.smp is not None:
+                # One private ring per core (capacity each), merged in
+                # timestamp order at drain time.
+                self.buffer = PerCpuRing(argument.buffer_capacity, row_names,
+                                         cpus=len(self.smp.kernels))
+            else:
+                self.buffer = ColumnarRing(argument.buffer_capacity,
+                                           row_names)
         return True
 
     def _ioctl_start(self, argument: object) -> bool:
@@ -315,19 +389,51 @@ class KLebModule(KernelModule):
         # e.g. a container already spawned by its shim — are included.
         self.traced_pids = _live_descendants(self.kernel, pid)
         self.final_totals = None
+        self.final_totals_by_cpu = None
         self.stats = KLebStats()
-        probes = self.kernel.kprobes
-        self._probe_handles = [
-            probes.register(ProbePoint.SCHED_SWITCH_IN, self._switch_in),
-            probes.register(ProbePoint.SCHED_SWITCH_OUT, self._switch_out),
-            probes.register(ProbePoint.PROCESS_FORK, self._fork),
-            probes.register(ProbePoint.PROCESS_EXIT, self._exit),
-        ]
+        if self.smp is None:
+            probes = self.kernel.kprobes
+            self._probe_handles = [
+                (probes,
+                 probes.register(ProbePoint.SCHED_SWITCH_IN,
+                                 self._switch_in)),
+                (probes,
+                 probes.register(ProbePoint.SCHED_SWITCH_OUT,
+                                 self._switch_out)),
+                (probes, probes.register(ProbePoint.PROCESS_FORK,
+                                         self._fork)),
+                (probes, probes.register(ProbePoint.PROCESS_EXIT,
+                                         self._exit)),
+            ]
+        else:
+            # Probes on *every* core: the traced task may run (and
+            # exit) anywhere, and sched:migrate fires on the
+            # destination core so counting follows the task.
+            self._probe_handles = []
+            for cpu, cpu_kernel in enumerate(self.smp.kernels):
+                probes = cpu_kernel.kprobes
+                for point, handler in (
+                    (ProbePoint.SCHED_SWITCH_IN,
+                     self._smp_switch_in(cpu)),
+                    (ProbePoint.SCHED_SWITCH_OUT,
+                     self._smp_switch_out(cpu)),
+                    (ProbePoint.SCHED_MIGRATE, self._migrated),
+                    (ProbePoint.PROCESS_FORK, self._fork),
+                    (ProbePoint.PROCESS_EXIT, self._exit),
+                ):
+                    self._probe_handles.append(
+                        (probes, probes.register(point, handler)))
         self.collecting = True
-        # If the monitored task is already on the CPU, begin right away.
-        current = self.kernel.scheduler.current
-        if current is not None and current.pid in self.traced_pids:
-            self._begin_counting()
+        # If the monitored task is already on a CPU, begin right away.
+        if self.smp is None:
+            current = self.kernel.scheduler.current
+            if current is not None and current.pid in self.traced_pids:
+                self._begin_counting()
+        else:
+            for cpu, cpu_kernel in enumerate(self.smp.kernels):
+                current = cpu_kernel.scheduler.current
+                if current is not None and current.pid in self.traced_pids:
+                    self._begin_counting(cpu)
         return True
 
     def _ioctl_stop(self) -> Dict[str, int]:
@@ -360,7 +466,11 @@ class KLebModule(KernelModule):
         self.active_period_ns = int(argument.period_ns)
         self.skip_factor = int(argument.skip_factor)
         self.rotate_slowdown = int(argument.rotate_slowdown)
-        if self.timer is not None \
+        if self.timers is not None:
+            for timer in self.timers:
+                if timer.period_ns != self.active_period_ns:
+                    timer.reprogram(self.active_period_ns)
+        elif self.timer is not None \
                 and self.timer.period_ns != self.active_period_ns:
             # In place if running; an inactive timer (victim switched
             # out, or paused on back-pressure) just stores the new
@@ -410,6 +520,25 @@ class KLebModule(KernelModule):
         if self.collecting and task.pid in self.traced_pids:
             self._pause_counting()
 
+    def _smp_switch_in(self, cpu: int):
+        def handler(task: Task) -> None:
+            if self.collecting and task.pid in self.traced_pids:
+                self._begin_counting(cpu)
+        return handler
+
+    def _smp_switch_out(self, cpu: int):
+        def handler(task: Task) -> None:
+            if self.collecting and task.pid in self.traced_pids:
+                self._pause_counting(cpu)
+        return handler
+
+    def _migrated(self, task: Task, src_cpu: int, dst_cpu: int) -> None:
+        # Fires on the destination core; the actual re-arm (timer +
+        # counter enable on dst) rides that core's switch-in probe when
+        # the task is next dispatched.
+        if self.collecting and task.pid in self.traced_pids:
+            self.stats.migrations += 1
+
     def _fork(self, parent: Task, child: Task) -> None:
         # Trace the whole process tree: name/pid/ppid bookkeeping.
         if self.collecting and parent.pid in self.traced_pids:
@@ -426,23 +555,38 @@ class KLebModule(KernelModule):
     # ------------------------------------------------------------------
     # Counting control
     # ------------------------------------------------------------------
-    def _begin_counting(self) -> None:
-        assert self.config is not None and self.timer is not None
-        self.kernel.pmu.global_enable()
-        # The adapt ioctl may have retuned the period since config;
-        # equals config.period_ns when the controller never adapted.
-        self.timer.start(self.active_period_ns or self.config.period_ns)
+    def _begin_counting(self, cpu: Optional[int] = None) -> None:
+        assert self.config is not None
+        if cpu is None:
+            assert self.timer is not None
+            self.kernel.pmu.global_enable()
+            # The adapt ioctl may have retuned the period since config;
+            # equals config.period_ns when the controller never adapted.
+            self.timer.start(self.active_period_ns or self.config.period_ns)
+            return
+        assert self.timers is not None and self.smp is not None
+        self.smp.kernels[cpu].pmu.global_enable()
+        self.timers[cpu].start(self.active_period_ns or self.config.period_ns)
 
-    def _pause_counting(self) -> None:
-        assert self.timer is not None
-        self.timer.cancel()
-        if self.mux is not None:
-            # Harvest the partial window before the counters freeze so
-            # drained samples stay fresh across descheduled stretches.
-            self._mux_harvest()
-        self.kernel.pmu.global_disable()
+    def _pause_counting(self, cpu: Optional[int] = None) -> None:
+        if cpu is None:
+            assert self.timer is not None
+            self.timer.cancel()
+            if self.mux is not None:
+                # Harvest the partial window before the counters freeze
+                # so drained samples stay fresh across descheduled
+                # stretches.
+                self._mux_harvest()
+            self.kernel.pmu.global_disable()
+            return
+        assert self.timers is not None and self.smp is not None
+        self.timers[cpu].cancel()
+        self.smp.kernels[cpu].pmu.global_disable()
 
     def _stop_collection(self) -> None:
+        if self.smp is not None:
+            self._stop_collection_smp()
+            return
         if self.timer is not None:
             self.timer.cancel()
         if self.mux is not None:
@@ -453,8 +597,27 @@ class KLebModule(KernelModule):
                 self.kernel.pmu.snapshot(self.kernel.now).by_event
             )
         self.kernel.pmu.global_disable()
-        for handle in self._probe_handles:
-            self.kernel.kprobes.unregister(handle)
+        for probes, handle in self._probe_handles:
+            probes.unregister(handle)
+        self._probe_handles = []
+        self.collecting = False
+
+    def _stop_collection_smp(self) -> None:
+        assert self.smp is not None and self.timers is not None
+        for timer in self.timers:
+            timer.cancel()
+        totals_by_cpu: List[Dict[str, int]] = []
+        merged: Dict[str, int] = {}
+        for cpu_kernel in self.smp.kernels:
+            snapshot = dict(cpu_kernel.pmu.snapshot(cpu_kernel.now).by_event)
+            cpu_kernel.pmu.global_disable()
+            totals_by_cpu.append(snapshot)
+            for name, value in snapshot.items():
+                merged[name] = merged.get(name, 0) + value
+        self.final_totals_by_cpu = totals_by_cpu
+        self.final_totals = merged
+        for probes, handle in self._probe_handles:
+            probes.unregister(handle)
         self._probe_handles = []
         self.collecting = False
 
@@ -618,3 +781,42 @@ class KLebModule(KernelModule):
             if (self.mux.fires_in_window
                     >= self.mux.rotate_fires * self.rotate_slowdown):
                 self._mux_rotate()
+
+    def _timer_fire_smp(self, when: int, cpu: int) -> None:
+        """Per-core variant of :meth:`_timer_fire`.
+
+        Mirrors the classic handler (skip ladder, squeeze faults,
+        columnar push, back-pressure accounting) but charges interrupt
+        time on ``cpu``'s kernel, reads ``cpu``'s PMU, and pushes into
+        that core's private ring.  SMP sessions never multiplex, so the
+        rotation arms are absent.
+        """
+        if not self.collecting:
+            return
+        assert self.smp is not None
+        cpu_kernel = self.smp.kernels[cpu]
+        self.stats.timer_fires += 1
+        if self.stats.timer_fires == 1:
+            cpu_kernel.charge_kernel_time(costs.KLEB_FIRST_FIRE_NS)
+        if (self.skip_factor > 1
+                and self.stats.timer_fires % self.skip_factor != 0):
+            cpu_kernel.charge_kernel_time(costs.KLEB_SKIP_FIRE_NS)
+            self.stats.handler_time_ns += costs.KLEB_SKIP_FIRE_NS
+            self.stats.samples_skipped += 1
+            return
+        cpu_kernel.charge_kernel_time(costs.KLEB_HANDLER_NS)
+        self.stats.handler_time_ns += costs.KLEB_HANDLER_NS
+        assert isinstance(self.buffer, PerCpuRing)
+        squeezed = cpu_kernel.faults.squeeze_capacity(self.buffer.capacity,
+                                                      cpu_kernel.now)
+        if squeezed is not None:
+            self.buffer.squeeze(squeezed)
+        else:
+            self.buffer.unsqueeze()
+        _, row = cpu_kernel.pmu.counter_row()
+        pushed = self.buffer.push_row(cpu, cpu_kernel.now, row)
+        if pushed:
+            self.stats.samples_recorded += 1
+        else:
+            self.stats.samples_dropped += 1
+        self.stats.pause_episodes = self.buffer.pause_episodes

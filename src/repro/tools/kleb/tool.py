@@ -18,7 +18,8 @@ from repro.tools import costs
 from repro.tools.base import (MonitoringTool, Sample, SampleColumns, Session,
                               ToolReport)
 from repro.tools.kleb.controller import ControllerState, KLebControllerProgram
-from repro.tools.kleb.module import KLebModule, KLebModuleConfig
+from repro.tools.kleb.module import (KLebModule, KLebModuleConfig,
+                                     SmpContext)
 
 
 class KLebSession(Session):
@@ -77,6 +78,19 @@ class KLebSession(Session):
                 "adaptive_frozen_observations": float(
                     self.state.frozen_observations),
             })
+        if self.module.smp is not None:
+            # SMP sessions only: single-core reports must stay
+            # byte-identical to the committed golden digests.
+            metadata_extra.update({
+                "smp_cores": float(len(self.module.smp.kernels)),
+                "smp_home_cpu": float(self.module.smp.home),
+                "smp_migrations": float(stats.migrations),
+            })
+            for cpu, cpu_totals in enumerate(
+                    self.module.final_totals_by_cpu or []):
+                for name in sorted(cpu_totals):
+                    metadata_extra[f"smp_cpu{cpu}:{name}"] = float(
+                        cpu_totals[name])
         mux = self.state.mux_accounting
         if mux is not None:
             # Multiplexed runs only: non-multiplexed reports must stay
@@ -111,10 +125,7 @@ class KLebSession(Session):
                 "log_bytes": float(self.state.log_bytes),
                 # Degradation/recovery accounting — all zero on a
                 # healthy run, populated under fault injection.
-                "timer_misses": float(
-                    self.module.timer.missed
-                    if self.module.timer is not None else 0
-                ),
+                "timer_misses": float(self.module.timer_misses_total),
                 "ioctl_retries": float(self.state.ioctl_retries),
                 "read_retries": float(self.state.read_retries),
                 "recovery_reads": float(self.state.recovery_reads),
@@ -204,6 +215,67 @@ class KLebTool(MonitoringTool):
         )
         controller = kernel.spawn(controller_program,
                                   nice=self.controller_nice)
+        return KLebSession(
+            kernel=kernel,
+            module=module,
+            victim=task,
+            controller=controller,
+            state=state,
+            events=events,
+            period_ns=period_ns,
+        )
+
+    def attach_cluster(self, cluster, task: Task, events: Sequence[str],
+                       period_ns: int, home: int = 0) -> KLebSession:
+        """Attach one tool instance to a whole SMP cluster.
+
+        The module loads into the ``home`` core's kernel (where the
+        victim was spawned and the controller runs, pinned there), but
+        programs every core's PMU, registers kprobes on every core —
+        including ``sched:migrate`` — and pools samples in a per-CPU
+        ring, so a single session follows the victim across cores.
+        """
+        if self.multiplex_period_ns is not None:
+            raise ToolError(
+                "K-LEB: multiplexing is not supported on an SMP session")
+        if self.control is not None:
+            raise ToolError(
+                "K-LEB: adaptive control is not supported on an SMP session")
+        period_ns = self.effective_period(period_ns)
+        kernel = cluster.kernel(home)
+        if "k_leb" in kernel.modules:
+            module = kernel.get_module("k_leb")
+            if not isinstance(module, KLebModule) or module.smp is None:
+                raise ToolError(
+                    "k_leb already loaded on the home kernel without "
+                    "SMP wiring")
+        else:
+            module = kernel.load_module(KLebModule(
+                smp=SmpContext(kernels=tuple(cluster.kernels), home=home)))
+        config = KLebModuleConfig(
+            events=list(events),
+            period_ns=period_ns,
+            buffer_capacity=self.buffer_capacity,
+            count_kernel=self.count_kernel,
+        )
+        state = ControllerState()
+        cost_rng = kernel.rng.stream("tool-cost:k-leb")
+        cost_factor = float(
+            cost_rng.lognormal(0.0, costs.COST_SIGMA["k-leb"])
+        )
+        controller_program = KLebControllerProgram(
+            module=module,
+            target_pid=task.pid,
+            module_config=config,
+            state=state,
+            cost_factor=cost_factor,
+            start_target=task.state is TaskState.SLEEPING,
+        )
+        controller = kernel.spawn(controller_program,
+                                  nice=self.controller_nice)
+        # The controller never migrates: its ioctl/read loop drains the
+        # merged ring from the home core (taskset semantics).
+        controller.pinned = True
         return KLebSession(
             kernel=kernel,
             module=module,

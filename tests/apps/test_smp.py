@@ -130,3 +130,68 @@ class TestPerCoreMonitoring:
         solo_report = solo_session.finalize()
         assert report.totals["LLC_MISSES"] > \
             1.5 * solo_report.totals["LLC_MISSES"]
+
+
+class TestClusterValidation:
+    """Geometry and window validation: diagnostics, not desyncs."""
+
+    def test_non_positive_window_rejected_at_construction(self):
+        # Regression: a non-positive lockstep window used to be
+        # accepted and silently desynchronized the cluster.
+        with pytest.raises(ExperimentError, match="window"):
+            SmpCluster(cores=2, window_ns=0)
+        with pytest.raises(ExperimentError, match="window"):
+            SmpCluster(cores=2, window_ns=-100)
+
+    def test_non_positive_window_rejected_at_run(self):
+        cluster = SmpCluster(cores=2)
+        with pytest.raises(ExperimentError, match="window"):
+            cluster.run(deadline_ns=ms(1), window_ns=0)
+        with pytest.raises(ExperimentError, match="window"):
+            cluster.run_until_tasks_exit([], deadline_ns=ms(1),
+                                         window_ns=-1)
+
+    def test_invalid_socket_count(self):
+        with pytest.raises(ExperimentError):
+            SmpCluster(cores=2, sockets=0)
+
+    def test_cores_must_divide_across_sockets(self):
+        with pytest.raises(ExperimentError):
+            SmpCluster(cores=3, sockets=2)
+
+
+class TestTopologyAndUncore:
+    def test_one_uncore_per_socket(self):
+        cluster = SmpCluster(cores=4, sockets=2)
+        assert len(cluster.uncores) == 2
+        assert len(cluster.llcs) == 2
+        assert [uncore.socket for uncore in cluster.uncores] == [0, 1]
+
+    def test_sockets_do_not_share_an_llc(self):
+        cluster = SmpCluster(cores=4, sockets=2)
+        llc_ids = [id(kernel.machine.cache.llc)
+                   for kernel in cluster.kernels]
+        # Cores 0/1 share socket 0's LLC; cores 2/3 share socket 1's.
+        assert llc_ids[0] == llc_ids[1]
+        assert llc_ids[2] == llc_ids[3]
+        assert llc_ids[0] != llc_ids[2]
+
+    def test_uncore_sees_llc_traffic(self):
+        cluster = SmpCluster(cores=2)
+        task = cluster.spawn(0, streamer())
+        cluster.run_until_tasks_exit([task], deadline_ns=seconds(10))
+        totals = cluster.uncores[0].totals()
+        assert totals["UNC_IMC_CAS_READS"] > 0
+        assert totals["UNC_LLC_LOOKUPS"] >= totals["UNC_LLC_MISSES"] > 0
+        assert cluster.uncores[0].bandwidth_bytes_per_sec > 0
+
+    def test_idle_cluster_uncore_stays_quiet(self):
+        cluster = SmpCluster(cores=2)
+        cluster.run(deadline_ns=ms(2))
+        assert cluster.uncores[0].totals()["UNC_IMC_CAS_READS"] == 0
+
+    def test_per_core_pid_spaces_do_not_collide(self):
+        cluster = SmpCluster(cores=3)
+        pids = [cluster.spawn(cpu, compute()).pid for cpu in range(3)]
+        assert len(set(pids)) == 3
+        assert pids[0] == 1000  # core 0 keeps the classic pid base

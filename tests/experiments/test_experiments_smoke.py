@@ -22,7 +22,7 @@ class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         expected = {"table1", "table2", "table3",
                     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "crosscheck", "multiplex", "adaptive"}
+                    "crosscheck", "multiplex", "adaptive", "smp"}
         assert set(EXPERIMENTS) == expected
 
     def test_entries_have_descriptions(self):

@@ -1,0 +1,156 @@
+"""Seeded CPU migration: conservation, probes, pinning, determinism.
+
+Migration moves a task between per-core kernels at quantum boundaries.
+Whatever the itinerary, the counts must balance: instructions retired
+are a property of the program, so the per-core deltas K-LEB attributes
+to each CPU have to sum to exactly the single-core total, and the
+``sched:migrate`` probe — the hook K-LEB re-arms from — must fire
+exactly once per migration, on the destination kernel.
+"""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.experiments.smp import run_monitored_smp
+from repro.kernel.config import KernelConfig
+from repro.kernel.kprobes import ProbePoint
+from repro.kernel.scheduler import MigrationPolicy
+from repro.kernel.smp import SmpCluster
+from repro.sim.clock import ms, seconds
+from repro.sim.rng import RngStreams
+from repro.workloads.synthetic import PointerChaseWorkload
+
+QUICK = KernelConfig(noise_enabled=False, quantum_ns=ms(1))
+
+
+def _chase(seed: int = 3) -> PointerChaseWorkload:
+    return PointerChaseWorkload(2 * 1024 * 1024, 200_000, seed=seed,
+                                name="victim")
+
+
+def _migrating_cluster(**kwargs) -> SmpCluster:
+    defaults = dict(cores=4, kernel_config=QUICK, seed=7, migrate=True,
+                    migrate_probability=1.0)
+    defaults.update(kwargs)
+    return SmpCluster(**defaults)
+
+
+class TestMigrationPolicy:
+    def test_needs_two_cores(self):
+        with pytest.raises(SchedulerError):
+            MigrationPolicy(1, RngStreams(0).stream("m"))
+
+    def test_probability_bounds(self):
+        with pytest.raises(SchedulerError):
+            MigrationPolicy(2, RngStreams(0).stream("m"), probability=1.5)
+
+    def test_destination_is_never_self(self):
+        policy = MigrationPolicy(4, RngStreams(0).stream("m"),
+                                 probability=1.0)
+        for _ in range(100):
+            assert policy.pick_destination(2) != 2
+
+    def test_zero_probability_never_migrates(self):
+        policy = MigrationPolicy(4, RngStreams(0).stream("m"),
+                                 probability=0.0)
+        assert all(policy.pick_destination(0) is None for _ in range(50))
+
+
+class TestMigrationMechanics:
+    def test_probe_fires_exactly_once_per_migration(self):
+        """sched:migrate count == cluster.migrations, observed on the
+        destination kernel with the right (src, dst) arguments."""
+        cluster = _migrating_cluster()
+        observed = []
+
+        def make_handler(cpu):
+            def handler(task, src, dst):
+                observed.append((task.pid, src, dst, cpu))
+            return handler
+
+        for cpu, kernel in enumerate(cluster.kernels):
+            kernel.kprobes.register(ProbePoint.SCHED_MIGRATE,
+                                    make_handler(cpu))
+        task = cluster.spawn(0, _chase())
+        cluster.run_until_tasks_exit([task], deadline_ns=seconds(5))
+        assert cluster.migrations > 0
+        assert len(observed) == cluster.migrations
+        for pid, src, dst, fired_on in observed:
+            assert pid == task.pid
+            assert src != dst
+            assert fired_on == dst  # destination kernel, where K-LEB re-arms
+
+    def test_task_lands_on_destination_task_table(self):
+        cluster = _migrating_cluster()
+        task = cluster.spawn(0, _chase())
+        cluster.run_until_tasks_exit([task], deadline_ns=seconds(5))
+        assert cluster.migrations > 0
+        # Exactly one kernel owns the (exited) task at the end.
+        owners = [cpu for cpu, kernel in enumerate(cluster.kernels)
+                  if kernel.tasks.get(task.pid) is task]
+        assert len(owners) == 1
+
+    def test_pinned_task_never_migrates(self):
+        cluster = _migrating_cluster()
+        task = cluster.spawn(0, _chase())
+        task.pinned = True
+        cluster.run_until_tasks_exit([task], deadline_ns=seconds(5))
+        assert cluster.migrations == 0
+        assert cluster.kernels[0].tasks.get(task.pid) is task
+
+    def test_single_core_cluster_installs_no_policy(self):
+        cluster = SmpCluster(cores=1, kernel_config=QUICK, seed=7,
+                             migrate=True)
+        assert cluster.kernels[0].scheduler.migration is None
+
+    def test_migrate_off_installs_no_policy(self):
+        cluster = SmpCluster(cores=4, kernel_config=QUICK, seed=7)
+        assert all(kernel.scheduler.migration is None
+                   for kernel in cluster.kernels)
+
+
+class TestMonitoredConservation:
+    """Per-core K-LEB deltas vs the single-core ground truth."""
+
+    EVENTS = ("LLC_MISSES", "BRANCH_MISSES")
+
+    def _run(self, cores, migrate):
+        return run_monitored_smp(
+            _chase(), events=self.EVENTS, seed=11, cores=cores,
+            migrate=migrate, kernel_config=QUICK,
+        )
+
+    def test_per_core_deltas_sum_to_totals(self):
+        result = self._run(cores=4, migrate=True)
+        assert result.migrations > 0
+        metadata = result.report.metadata
+        assert metadata["smp_migrations"] == result.migrations
+        for name in ("INST_RETIRED", "LLC_MISSES", "BRANCH_MISSES"):
+            per_core = sum(
+                metadata.get(f"smp_cpu{cpu}:{name}", 0.0)
+                for cpu in range(4))
+            assert per_core == result.report.totals[name]
+
+    def test_uniform_rate_events_match_single_core_totals(self):
+        """Instructions are a program property: the migrated run's
+        total must equal the non-migrating single-core run's."""
+        migrated = self._run(cores=4, migrate=True)
+        solo = self._run(cores=1, migrate=False)
+        assert migrated.migrations > 0
+        assert (migrated.report.totals["INST_RETIRED"]
+                == solo.report.totals["INST_RETIRED"])
+
+    def test_migrated_run_spreads_counts_across_cores(self):
+        result = self._run(cores=4, migrate=True)
+        busy = [cpu for cpu in range(4)
+                if result.report.metadata.get(
+                    f"smp_cpu{cpu}:INST_RETIRED", 0.0) > 0]
+        assert len(busy) >= 2
+
+    def test_same_seed_runs_are_identical(self):
+        first = self._run(cores=4, migrate=True)
+        second = self._run(cores=4, migrate=True)
+        assert first.migrations == second.migrations
+        assert first.report.totals == second.report.totals
+        assert first.report.metadata == second.report.metadata
+        assert first.uncore_totals == second.uncore_totals

@@ -184,3 +184,30 @@ class TestHighWatermark:
     def test_empty_buffer_watermark_zero(self):
         buffer = RingBuffer(4)
         assert buffer.take_high_watermark() == 0
+
+
+class TestPerCpuPauseIsolation:
+    """A merging drain must not resume rings it never consumed from.
+
+    Regression pin for a scenario the lockstep Hypothesis machine
+    found: with every ring squeezed to one slot and two CPUs paused, a
+    drain(1) consumes only the merge winner — the losing ring was
+    never drained, so its back-pressure must hold (a zero-item drain
+    would run the resume check and unpause a still-full ring).
+    """
+
+    def test_untouched_ring_stays_paused(self):
+        from repro.kernel.ringbuffer import PerCpuRing
+
+        ring = PerCpuRing(4, ("A", "B"), cpus=3, resume_threshold=2)
+        ring.squeeze(1)  # one slot per cpu
+        assert ring.push_row(0, 0, [1, 2])
+        assert ring.push_row(1, 0, [3, 4])
+        assert ring.rings[0].paused and ring.rings[1].paused
+
+        batch = ring.drain(1)
+        assert len(batch) == 1
+        assert batch.columns[-1][0] == 0  # cpu 0 wins the (0, cpu) tie
+        assert not ring.rings[0].paused   # drained below threshold
+        assert ring.rings[1].paused       # untouched: still full, paused
+        assert ring.paused                # aggregate: any ring paused

@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
-from repro.kernel.ringbuffer import ColumnarRing, RingBuffer
+from repro.kernel.ringbuffer import ColumnarRing, PerCpuRing, RingBuffer
 
 
 class TestSequences:
@@ -245,3 +245,138 @@ class ColumnarLockstepMachine(RuleBasedStateMachine):
 
 
 TestColumnarLockstepStateful = ColumnarLockstepMachine.TestCase
+
+
+class PerCpuLockstepMachine(RuleBasedStateMachine):
+    """Stateful lockstep check: PerCpuRing vs per-CPU reference rings.
+
+    The reference keeps one generic :class:`RingBuffer` per CPU and
+    merges drains itself with the documented rule — repeatedly pop the
+    ring whose *oldest pending* row has the smallest ``(timestamp,
+    cpu)`` — so per-CPU FIFO order is preserved by construction even
+    for non-monotonic timestamps.  The merged batch, its trailing
+    ``cpu`` column, and every aggregate accounting counter must match
+    on every step, through pushes (accepted or refused identically),
+    partial drains, squeezes (per-ring fair share), unsqueezes, and
+    clears.
+    """
+
+    NAMES = ("INST_RETIRED", "LLC_MISSES")
+    CPUS = 3
+    CAPACITY = 4
+
+    def __init__(self):
+        super().__init__()
+        self.percpu = PerCpuRing(self.CAPACITY, self.NAMES,
+                                 cpus=self.CPUS, resume_threshold=2)
+        self.reference = [RingBuffer(self.CAPACITY, resume_threshold=2)
+                          for _ in range(self.CPUS)]
+        self.clock = 0
+        self.offered = 0
+
+    @rule(cpu=st.integers(min_value=0, max_value=CPUS - 1),
+          delta=st.integers(min_value=-2, max_value=3),
+          values=st.tuples(*[st.integers(-2**62, 2**62)] * 2))
+    def push(self, cpu, delta, values):
+        # Deltas can be zero (cross-CPU ties) or negative (the per-CPU
+        # streams need not be mutually monotonic).
+        self.clock += delta
+        self.offered += 1
+        accepted_ref = self.reference[cpu].push(
+            (self.clock, cpu, values))
+        accepted_percpu = self.percpu.push_row(
+            cpu, self.clock, list(values))
+        assert accepted_ref == accepted_percpu
+
+    def _reference_merge(self, count):
+        merged = []
+        cursors = [0] * self.CPUS
+        # Non-destructive peek at each ring's pending rows; the real
+        # pops happen below once the plan is complete.
+        pending = [list(ring._entries) for ring in self.reference]
+        while len(merged) < count:
+            best = None
+            for cpu in range(self.CPUS):
+                if cursors[cpu] >= len(pending[cpu]):
+                    continue
+                timestamp, _cpu, _values = pending[cpu][cursors[cpu]]
+                key = (timestamp, cpu)
+                if best is None or key < best[0]:
+                    best = (key, cpu)
+            if best is None:
+                break
+            cpu = best[1]
+            merged.append(pending[cpu][cursors[cpu]])
+            cursors[cpu] += 1
+        for cpu in range(self.CPUS):
+            # Only rings the merge consumed from are drained — an
+            # untouched ring must keep its pause state (drain(0) would
+            # run the resume check and unpause a still-full ring).
+            if cursors[cpu]:
+                self.reference[cpu].drain(cursors[cpu])
+        return merged
+
+    @rule(count=st.integers(min_value=1, max_value=10))
+    def drain(self, count):
+        batch = self.percpu.drain(count)
+        expected = self._reference_merge(count)
+        rows = [
+            (row.timestamp,
+             row.values["cpu"],
+             tuple(row.values[name] for name in self.NAMES))
+            for row in batch
+        ]
+        assert rows == expected
+
+    @rule(capacity=st.integers(min_value=1, max_value=CAPACITY * CPUS))
+    def squeeze(self, capacity):
+        self.percpu.squeeze(capacity)
+        share = max(1, capacity // self.CPUS)
+        for ring in self.reference:
+            ring.squeeze(share)
+
+    @rule()
+    def unsqueeze(self):
+        self.percpu.unsqueeze()
+        for ring in self.reference:
+            ring.unsqueeze()
+
+    @rule()
+    def clear(self):
+        self.percpu.clear()
+        for ring in self.reference:
+            ring.clear()
+
+    @invariant()
+    def accounting_in_lockstep(self):
+        percpu, reference = self.percpu, self.reference
+        assert len(percpu) == sum(len(ring) for ring in reference)
+        assert percpu.paused == any(ring.paused for ring in reference)
+        for counter in ("dropped", "total_pushed", "total_drained",
+                        "total_cleared", "pause_episodes",
+                        "effective_capacity"):
+            assert getattr(percpu, counter) == sum(
+                getattr(ring, counter) for ring in reference), counter
+
+    @invariant()
+    def conservation_holds(self):
+        percpu = self.percpu
+        assert percpu.total_pushed == (
+            percpu.total_drained + percpu.total_cleared + len(percpu)
+        )
+        assert percpu.total_pushed + percpu.dropped == self.offered
+
+    @invariant()
+    def per_cpu_fifo_preserved(self):
+        # Within each backing ring the pending timestamps are exactly
+        # the reference ring's, in push order.
+        for cpu in range(self.CPUS):
+            ring = self.percpu.rings[cpu]
+            pending = [ring.peek_timestamp(index)
+                       for index in range(len(ring))]
+            expected = [timestamp for timestamp, _cpu, _values in
+                        self.reference[cpu]._entries]
+            assert pending == expected
+
+
+TestPerCpuLockstepStateful = PerCpuLockstepMachine.TestCase

@@ -136,6 +136,38 @@ class TestMonitorAdaptive:
         assert "budget 1.5%" in capsys.readouterr().out
 
 
+class TestMonitorSmp:
+    def test_monitor_smp_runs_and_reports_per_core(self, capsys):
+        code = main(["monitor", "--workload", "dgemm", "--tool", "k-leb",
+                     "--period-ms", "1", "--cores", "2", "--migrate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology : 2 core(s), 1 socket(s), migration on" in out
+        assert "per-core victim totals" in out
+        assert "cpu0" in out and "cpu1" in out
+        assert "uncore[0]:" in out
+        assert "migrations:" in out
+
+    @pytest.mark.parametrize("argv,fragment", [
+        (["--cores", "0"], "--cores must be >= 1"),
+        (["--cores", "-2"], "--cores must be >= 1"),
+        (["--cores", "2", "--sockets", "0"], "--sockets must be >= 1"),
+        (["--cores", "4", "--sockets", "3"], "divide evenly"),
+        (["--migrate"], "--migrate requires --cores"),
+        (["--sockets", "2"], "--sockets requires --cores"),
+        (["--cores", "1", "--migrate"], "--migrate needs --cores >= 2"),
+        (["--cores", "2", "--adapt"], "not supported on an SMP session"),
+        (["--cores", "2", "--multiplex", "1.0"],
+         "not supported on an SMP session"),
+        (["--cores", "2", "--tool", "perf-stat"],
+         "only supported by the k-leb tool"),
+    ])
+    def test_monitor_smp_validation_exits_2(self, capsys, argv, fragment):
+        code = main(["monitor", "--workload", "dgemm"] + argv)
+        assert code == 2
+        assert fragment in capsys.readouterr().err
+
+
 class TestRun:
     def test_run_fig9(self, capsys):
         assert main(["run", "fig9", "--seed", "0"]) == 0

@@ -245,6 +245,48 @@ def compute_adaptive_digests(jobs: int = 1) -> Dict[str, str]:
     }
 
 
+_SMP_FAULT_SPEC = ("seed=9,timer_jitter=0.3,timer_miss=0.15,ioctl=0.2,"
+                   "read=0.1,squeeze=0.3,pmu_wrap=100000")
+
+
+def _smp_run_document(result) -> Dict:
+    return {
+        "report": report_document(result.report),
+        "wall_ns": result.wall_ns,
+        "migrations": result.migrations,
+        "cores": result.cores,
+        "sockets": result.sockets,
+        "uncore_bandwidth": list(result.uncore_bandwidth_bytes_per_sec),
+        "uncore_totals": [dict(totals) for totals in result.uncore_totals],
+    }
+
+
+def compute_smp_digests(jobs: int = 1) -> Dict[str, str]:
+    """Migrating 4-core populations: clean and under shared faults.
+
+    Every source of SMP nondeterminism candidates — migration RNG,
+    per-CPU ring merge order, lockstep uncore sampling, the shared
+    fault injector, fork-pool fan-out — must wash out: the per-trial
+    documents (merged sample series, per-CPU totals, migration counts,
+    uncore bandwidth) pin bit-for-bit across repeats and worker counts.
+    """
+    from repro.experiments.smp import run_smp_trials
+
+    clean = run_smp_trials(3, jobs=jobs, base_seed=23, cores=4,
+                           migrate=True, service_accesses=80_000,
+                           streamer_accesses=50_000)
+    faulted = run_smp_trials(3, jobs=jobs, base_seed=23, cores=4,
+                             migrate=True, service_accesses=80_000,
+                             streamer_accesses=50_000,
+                             fault_plan=FaultPlan.parse(_SMP_FAULT_SPEC))
+    return {
+        "smp/clean": _sha256(
+            [_smp_run_document(result) for result in clean]),
+        "smp/faulted": _sha256(
+            [_smp_run_document(result) for result in faulted]),
+    }
+
+
 def compute_obs_digests() -> Dict[str, str]:
     """Trace/metrics exports of a pinned-seed obs-enabled population.
 
@@ -276,6 +318,7 @@ def compute_all_digests() -> Dict[str, str]:
     digests.update(compute_fault_digests())
     digests.update(compute_multiplex_digests())
     digests.update(compute_adaptive_digests())
+    digests.update(compute_smp_digests())
     digests.update(compute_obs_digests())
     return digests
 
@@ -410,6 +453,19 @@ def test_adaptive_digests_identical_across_worker_counts(golden):
     from worker scheduling."""
     computed = compute_adaptive_digests(jobs=4)
     assert_matches_golden(computed, golden, "adaptive/")
+
+
+def test_smp_digests_match_golden(golden):
+    computed = compute_smp_digests()
+    assert_matches_golden(computed, golden, "smp/")
+
+
+def test_smp_digests_identical_across_worker_counts(golden):
+    """jobs=4 must hash to the jobs=1 golden values bit for bit: each
+    trial's cluster (migration stream included) is a pure function of
+    its index."""
+    computed = compute_smp_digests(jobs=4)
+    assert_matches_golden(computed, golden, "smp/")
 
 
 def test_obs_enabled_report_digest_equals_obs_off(golden):
